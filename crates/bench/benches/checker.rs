@@ -1,0 +1,105 @@
+//! P3 — checking throughput: model executions per second per structure,
+//! and the cost of the `LAT_hb^hist` linearization search as histories
+//! grow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use compass::history::{find_linearization, QueueInterp};
+use compass::queue_spec::QueueEvent;
+use compass::{EventId, Graph};
+use compass_bench::workloads::{deque_stats, elim_stats, queue_spec_stats, treiber_hist_stats};
+use compass_structures::queue::{HwQueue, MsQueue};
+use orc11::Val;
+
+fn bench_model_checking(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p3_model_checking");
+    const RUNS: u64 = 10;
+    group.throughput(Throughput::Elements(RUNS));
+    group.bench_function("ms-queue/run+check", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            let s = queue_spec_stats(MsQueue::new, seed..seed + RUNS);
+            seed += RUNS;
+            s
+        })
+    });
+    group.bench_function("hw-queue/run+check", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            let s = queue_spec_stats(|ctx| HwQueue::new(ctx, 8), seed..seed + RUNS);
+            seed += RUNS;
+            s
+        })
+    });
+    group.bench_function("treiber/run+check", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            let s = treiber_hist_stats(seed..seed + RUNS);
+            seed += RUNS;
+            s
+        })
+    });
+    group.bench_function("chase-lev/run+check", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            let s = deque_stats(seed..seed + RUNS);
+            seed += RUNS;
+            s
+        })
+    });
+    group.bench_function("elim-stack/run+check", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            let s = elim_stats(seed..seed + RUNS, 3);
+            seed += RUNS;
+            s
+        })
+    });
+    group.finish();
+}
+
+/// A worst-ish-case history for the search: n concurrent enqueues (no
+/// lhb) followed by n matched dequeues.
+fn synthetic_history(n: usize) -> Graph<QueueEvent> {
+    let mut g = Graph::new();
+    for i in 0..n {
+        let id = EventId::from_raw(i as u64);
+        g.add_event(
+            QueueEvent::Enq(Val::Int(i as i64)),
+            1,
+            i as u64,
+            [id].into_iter().collect(),
+        );
+    }
+    for i in 0..n {
+        let id = EventId::from_raw((n + i) as u64);
+        let src = EventId::from_raw(i as u64);
+        g.add_event(
+            QueueEvent::Deq(Val::Int(i as i64)),
+            2,
+            (n + i) as u64,
+            [src, id].into_iter().collect(),
+        );
+        g.add_so(src, id);
+    }
+    g
+}
+
+fn bench_linearization_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p3_linearization_search");
+    for n in [2usize, 4, 6, 8] {
+        let g = synthetic_history(n);
+        group.throughput(Throughput::Elements((2 * n) as u64));
+        group.bench_with_input(BenchmarkId::new("events", 2 * n), &g, |b, g| {
+            b.iter(|| find_linearization(g, &QueueInterp, &[]).is_some())
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_model_checking, bench_linearization_search
+}
+criterion_main!(benches);

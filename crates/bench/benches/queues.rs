@@ -1,0 +1,81 @@
+//! P1 — native queue throughput: Michael-Scott vs Herlihy-Wing vs the
+//! mutex baseline, across thread counts.
+//!
+//! Shape expectation: the lock-free queues overtake the mutex queue as
+//! threads grow; the array-based HW queue is cheapest per operation
+//! while its (bounded, non-recycling) capacity lasts.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use compass_native::{ConcurrentQueue, HwQueue, MsQueue, MutexQueue};
+
+const OPS_PER_THREAD: u64 = 4_000;
+
+/// Producer/consumer pairs hammer the queue; total ops = 2 * pairs * OPS.
+fn run_pairs<Q: ConcurrentQueue<u64>>(q: &Q, pairs: usize) {
+    let stop = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        for p in 0..pairs {
+            let q = &q;
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    q.enqueue(p as u64 * OPS_PER_THREAD + i);
+                }
+            });
+        }
+        for _ in 0..pairs {
+            let q = &q;
+            let stop = &stop;
+            scope.spawn(move || {
+                let mut taken = 0;
+                while taken < OPS_PER_THREAD {
+                    if q.dequeue().is_some() {
+                        taken += 1;
+                    } else if stop.load(Ordering::Relaxed) {
+                        break;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_queues(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p1_queue_throughput");
+    for pairs in [1usize, 2, 4] {
+        let total_ops = 2 * pairs as u64 * OPS_PER_THREAD;
+        group.throughput(Throughput::Elements(total_ops));
+        group.bench_with_input(
+            BenchmarkId::new("michael-scott", pairs),
+            &pairs,
+            |b, &pairs| b.iter(|| run_pairs(&MsQueue::new(), pairs)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("herlihy-wing", pairs),
+            &pairs,
+            |b, &pairs| {
+                b.iter(|| {
+                    let q = HwQueue::new((pairs as u64 * OPS_PER_THREAD) as usize);
+                    run_pairs(&q, pairs)
+                })
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex-baseline", pairs),
+            &pairs,
+            |b, &pairs| b.iter(|| run_pairs(&MutexQueue::new(), pairs)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_queues
+}
+criterion_main!(benches);

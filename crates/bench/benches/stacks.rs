@@ -1,0 +1,67 @@
+//! P2 — native stack throughput under contention: Treiber vs the
+//! elimination stack vs the mutex baseline.
+//!
+//! Shape expectation (Hendler, Shavit & Yerushalmi 2004, the paper's
+//! §4.1 subject): at low thread counts the plain Treiber stack wins; as
+//! contention grows, the elimination stack's backoff converts head-CAS
+//! failures into successful eliminations and it scales past Treiber.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use compass_native::{ConcurrentStack, ElimStack, MutexStack, TreiberStack};
+
+const OPS_PER_THREAD: u64 = 4_000;
+
+/// Symmetric push/pop mix: every thread alternates push and pop, which
+/// maximizes elimination opportunities.
+fn run_mixed<S: ConcurrentStack<u64>>(s: &S, threads: usize) {
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let s = &s;
+            scope.spawn(move || {
+                for i in 0..OPS_PER_THREAD {
+                    if i % 2 == 0 {
+                        s.push(t as u64 * OPS_PER_THREAD + i);
+                    } else {
+                        let _ = s.pop();
+                    }
+                }
+            });
+        }
+    });
+}
+
+fn bench_stacks(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_stack_contention");
+    let max = std::thread::available_parallelism().map_or(8, |n| n.get());
+    for threads in [1usize, 2, 4, 8] {
+        if threads > max.max(4) {
+            continue;
+        }
+        let total_ops = threads as u64 * OPS_PER_THREAD;
+        group.throughput(Throughput::Elements(total_ops));
+        group.bench_with_input(
+            BenchmarkId::new("treiber", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_mixed(&TreiberStack::new(), threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("elimination", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_mixed(&ElimStack::new(threads.max(1), 128), threads)),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("mutex-baseline", threads),
+            &threads,
+            |b, &threads| b.iter(|| run_mixed(&MutexStack::new(), threads)),
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_stacks
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! E10 — scheduler-strategy comparison: how effectively do uniform
+//! random and PCT exploration find known relaxed-memory bugs?
+//!
+//! Subjects: the acquire-release (weak-fence) Chase-Lev deque's
+//! double-take bug, and the relaxed-tail Herlihy-Wing queue's FIFO bug.
+//! PCT (priority-based with d change points) is expected to find
+//! small-depth ordering bugs at a much higher rate than uniform random
+//! scheduling — this experiment quantifies it on this framework.
+
+use compass::deque_spec::check_deque_consistent;
+use compass::queue_spec::check_queue_consistent;
+use compass_bench::table::Table;
+use compass_structures::buggy::RelaxedHwQueue;
+use compass_structures::deque::ChaseLevDeque;
+use compass_structures::queue::ModelQueue;
+use orc11::{pct_strategy, random_strategy, run_model, BodyFn, Config, Loc, Mode, Strategy, ThreadCtx, Val};
+
+fn weak_deque_buggy(strategy: Box<dyn Strategy>) -> bool {
+    let out = run_model(
+        &Config::default(),
+        strategy,
+        |ctx| ChaseLevDeque::new_weak_fences(ctx, 8),
+        vec![
+            Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                d.push(ctx, Val::Int(1));
+                d.push(ctx, Val::Int(2));
+                d.pop(ctx);
+                d.pop(ctx);
+            }) as BodyFn<'_, _, ()>,
+            Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                d.steal(ctx);
+            }),
+            Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                d.steal(ctx);
+            }),
+        ],
+        |_, d, _| d.obj().snapshot(),
+    );
+    matches!(out.result, Ok(g) if check_deque_consistent(&g).is_err())
+}
+
+fn weak_hw_buggy(strategy: Box<dyn Strategy>) -> bool {
+    let out = run_model(
+        &Config::default(),
+        strategy,
+        |ctx| {
+            let q = RelaxedHwQueue::new(ctx, 4);
+            let flag = ctx.alloc("flag", Val::Int(0));
+            (q, flag)
+        },
+        vec![
+            Box::new(|ctx: &mut ThreadCtx, (q, flag): &(RelaxedHwQueue, Loc)| {
+                q.enqueue(ctx, Val::Int(10));
+                ctx.write(*flag, Val::Int(1), Mode::Release);
+            }) as BodyFn<'_, _, ()>,
+            Box::new(|ctx: &mut ThreadCtx, (q, flag): &(RelaxedHwQueue, Loc)| {
+                ctx.read_await(*flag, Mode::Acquire, |v| v == Val::Int(1));
+                q.enqueue(ctx, Val::Int(20));
+            }),
+            Box::new(|ctx: &mut ThreadCtx, (q, _): &(RelaxedHwQueue, Loc)| {
+                q.try_dequeue(ctx);
+            }),
+        ],
+        |_, (q, _), _| q.obj().snapshot(),
+    );
+    matches!(out.result, Ok(g) if check_queue_consistent(&g).is_err())
+}
+
+fn main() {
+    let n: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(3000);
+    println!("E10 — bug-finding rate by scheduling strategy, {n} executions each\n");
+    let mut t = Table::new(&[
+        "bug",
+        "uniform random",
+        "PCT d=2",
+        "PCT d=3",
+        "PCT d=5",
+    ]);
+    let count = |f: fn(Box<dyn Strategy>) -> bool, mk: &dyn Fn(u64) -> Box<dyn Strategy>| {
+        (0..n).filter(|&s| f(mk(s))).count()
+    };
+    for (name, f) in [
+        (
+            "Chase-Lev double-take (weak fences)",
+            weak_deque_buggy as fn(Box<dyn Strategy>) -> bool,
+        ),
+        ("Herlihy-Wing FIFO (relaxed tail)", weak_hw_buggy),
+    ] {
+        t.row(&[
+            name.to_string(),
+            format!("{}/{n}", count(f, &|s| random_strategy(s))),
+            format!("{}/{n}", count(f, &|s| pct_strategy(s, 2, 40))),
+            format!("{}/{n}", count(f, &|s| pct_strategy(s, 3, 40))),
+            format!("{}/{n}", count(f, &|s| pct_strategy(s, 5, 40))),
+        ]);
+    }
+    println!("{t}");
+    println!(
+        "\nExpected shape: PCT finds these small-depth ordering bugs at a much higher \
+         rate than\nuniform random scheduling (Burckhardt et al., ASPLOS 2010) — an \
+         order of magnitude or more."
+    );
+}

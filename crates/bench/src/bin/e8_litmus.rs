@@ -1,0 +1,65 @@
+//! E8 — litmus gallery validating the ORC11-style substrate (§2.3/§5).
+//!
+//! Exhaustively explores the classic shapes and prints outcome
+//! histograms, asserting allowed outcomes appear and forbidden ones never
+//! do.
+
+use orc11::litmus::gallery;
+
+fn main() {
+    let budget: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(500_000);
+
+    println!("E8 — litmus gallery (exhaustive DFS, budget {budget} executions per test)\n");
+
+    let mp = gallery::mp_rel_acq().dfs(budget);
+    mp.assert_never(&[0, 0]);
+    mp.assert_observable(&[0, 1]);
+    println!("{mp}  ⇒ stale read FORBIDDEN (release/acquire) ✓\n");
+
+    let mpr = gallery::mp_relaxed().dfs(budget);
+    mpr.assert_observable(&[0, 0]);
+    println!("{mpr}  ⇒ stale read ALLOWED (relaxed flag) ✓\n");
+
+    let mpf = gallery::mp_fences().dfs(budget);
+    mpf.assert_never(&[0, 0]);
+    println!("{mpf}  ⇒ stale read FORBIDDEN (rel/acq fences) ✓\n");
+
+    let sb = gallery::sb().dfs(budget);
+    sb.assert_observable(&[0, 0]);
+    println!("{sb}  ⇒ store buffering ALLOWED ✓\n");
+
+    let corr = gallery::corr().dfs(budget);
+    corr.report.assert_all_ok();
+    println!("{corr}  ⇒ coherence respected ✓\n");
+
+    let iriw = gallery::iriw_acq().dfs(budget);
+    iriw.assert_observable(&[0, 0, 10, 10]);
+    println!("{iriw}  ⇒ IRIW disagreement ALLOWED under acquire reads (RC11, unlike SC) ✓\n");
+
+    let lb = gallery::lb().dfs(budget);
+    lb.assert_never(&[1, 1]);
+    println!("{lb}  ⇒ load buffering FORBIDDEN (po ∪ rf acyclic, the ORC11 restriction) ✓\n");
+
+    let ttw = gallery::two_plus_two_w().dfs(budget);
+    assert!(!ttw.observed(&[0, 0, 1, 1]));
+    println!(
+        "{ttw}  ⇒ 2+2W weak outcome absent (append-only mo — documented model limitation) ✓\n"
+    );
+
+    let cowr = gallery::cowr().dfs(budget);
+    cowr.assert_never(&[0, 0]);
+    println!("{cowr}  ⇒ coherence write-read ✓\n");
+
+    let rs = gallery::release_sequence().dfs(budget);
+    rs.assert_never(&[0, 0, 0]);
+    println!("{rs}  ⇒ release sequences through relaxed RMWs ✓\n");
+
+    let rmw = gallery::rmw_atomicity().dfs(budget);
+    for (outcome, _) in &rmw.histogram {
+        assert_ne!(outcome.as_slice(), &[1, 1], "RMWs must not duplicate");
+    }
+    println!("{rmw}  ⇒ RMW atomicity ✓");
+}

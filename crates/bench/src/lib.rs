@@ -1,0 +1,22 @@
+//! # compass-bench — experiment regenerators and benchmark workloads
+//!
+//! One executable per evaluation artefact of the paper (see `DESIGN.md`
+//! §4 for the experiment index):
+//!
+//! | binary | paper artefact |
+//! |---|---|
+//! | `e1_mp` | Figure 1/3 — Message-Passing client (with ablation) |
+//! | `e2_spec_matrix` | Figure 2 — the spec-strength hierarchy, measured |
+//! | `e4_hist_stack` | Figure 4 — `LAT_hb^hist` for the Treiber stack |
+//! | `e5_elimination` | Figure 5 / §4 — exchanger + elimination stack |
+//! | `e6_sizes` | §1.2 — mechanization-size table analogue |
+//! | `e7_spsc` | §3.2 — SPSC client |
+//! | `e8_litmus` | §2.3/§5 — substrate litmus gallery |
+//!
+//! The `benches/` directory holds the Criterion performance benchmarks
+//! (P1 queues, P2 stacks, P3 checker throughput).
+
+#![warn(missing_docs)]
+
+pub mod table;
+pub mod workloads;

@@ -1,0 +1,380 @@
+//! Shared model workloads and spec-satisfaction statistics.
+//!
+//! These drive the E2/E4/E5 experiment binaries and the integration
+//! tests: each runs a fixed concurrent workload over many seeds and
+//! counts, per execution, which Compass spec styles the resulting graph
+//! satisfies.
+
+use compass::abs::commit_order_is_linearization;
+use compass::exchanger_spec::check_exchanger_consistent;
+use compass::history::{find_linearization, QueueInterp, StackInterp};
+use compass::queue_spec::{check_queue_consistent, check_so_lhb as queue_so_lhb};
+use compass::stack_spec::check_stack_consistent;
+use compass_structures::deque::ChaseLevDeque;
+use compass_structures::queue::ModelQueue;
+use compass_structures::stack::{ElimStack, ModelStack, TreiberStack};
+use orc11::{random_strategy, run_model, BodyFn, Config, ThreadCtx, Val};
+
+/// Per-spec-style satisfaction counts for a queue implementation.
+#[derive(Clone, Debug, Default)]
+pub struct QueueSpecStats {
+    /// Executions performed.
+    pub runs: u64,
+    /// Executions that aborted (races, panics) — zero for correct
+    /// implementations.
+    pub model_errors: u64,
+    /// Graph satisfies `QueueConsistent` (the `LAT_hb` style).
+    pub lat_hb: u64,
+    /// so ⊆ lhb (the `LAT_so^abs`/Cosmo view-transfer guarantee).
+    pub lat_so: u64,
+    /// Commit order replays sequentially (the `LAT_hb^abs` style).
+    pub lat_abs: u64,
+    /// A linearization `to ⊇ lhb` exists (the `LAT_hb^hist` style).
+    pub lat_hist: u64,
+}
+
+impl QueueSpecStats {
+    fn pct(n: u64, of: u64) -> String {
+        if of == 0 {
+            "-".into()
+        } else {
+            format!("{:.1}%", 100.0 * n as f64 / of as f64)
+        }
+    }
+
+    /// `[hb, so, abs, hist]` satisfaction percentages as strings.
+    pub fn percentages(&self) -> [String; 4] {
+        [
+            Self::pct(self.lat_hb, self.runs),
+            Self::pct(self.lat_so, self.runs),
+            Self::pct(self.lat_abs, self.runs),
+            Self::pct(self.lat_hist, self.runs),
+        ]
+    }
+}
+
+/// Runs the mixed MPMC workload (2 producers × 2 enqueues, 2 consumers ×
+/// 2 dequeue attempts) over `seeds` executions of `make`'s queue and
+/// tallies spec satisfaction.
+pub fn queue_spec_stats<Q: ModelQueue>(
+    make: impl Fn(&mut ThreadCtx) -> Q,
+    seeds: std::ops::Range<u64>,
+) -> QueueSpecStats {
+    let mut stats = QueueSpecStats::default();
+    for seed in seeds {
+        stats.runs += 1;
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| make(ctx),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                    q.enqueue(ctx, Val::Int(10));
+                    q.enqueue(ctx, Val::Int(11));
+                }) as BodyFn<'_, _, ()>,
+                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                    q.enqueue(ctx, Val::Int(20));
+                    q.enqueue(ctx, Val::Int(21));
+                }),
+                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                    q.try_dequeue(ctx);
+                    q.try_dequeue(ctx);
+                }),
+                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                    q.try_dequeue(ctx);
+                    q.try_dequeue(ctx);
+                }),
+            ],
+            |_, q, _| q.obj().snapshot(),
+        );
+        match out.result {
+            Err(_) => stats.model_errors += 1,
+            Ok(g) => {
+                if check_queue_consistent(&g).is_ok() {
+                    stats.lat_hb += 1;
+                }
+                if queue_so_lhb(&g).is_ok() {
+                    stats.lat_so += 1;
+                }
+                if commit_order_is_linearization(&g, &QueueInterp) {
+                    stats.lat_abs += 1;
+                }
+                if find_linearization(&g, &QueueInterp, &[]).is_some() {
+                    stats.lat_hist += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Per-run statistics for the Treiber `LAT_hb^hist` experiment (E4).
+#[derive(Clone, Debug, Default)]
+pub struct StackHistStats {
+    /// Executions performed.
+    pub runs: u64,
+    /// Aborted executions.
+    pub model_errors: u64,
+    /// Graph satisfies `StackConsistent`.
+    pub consistent: u64,
+    /// A linearization `to ⊇ lhb` exists.
+    pub hist_ok: u64,
+    /// The commit (head-CAS modification) order itself is a full
+    /// linearization witness, including empty pops.
+    pub commit_order_witness: u64,
+    /// Executions containing at least one empty pop.
+    pub with_emp_pops: u64,
+}
+
+/// Runs the mixed stack workload over `seeds` executions of a
+/// [`TreiberStack`] and tallies `LAT_hb^hist` satisfaction.
+pub fn treiber_hist_stats(seeds: std::ops::Range<u64>) -> StackHistStats {
+    stack_hist_stats(TreiberStack::new, seeds)
+}
+
+/// As [`treiber_hist_stats`] for any [`ModelStack`].
+pub fn stack_hist_stats<S: ModelStack>(
+    make: impl Fn(&mut ThreadCtx) -> S,
+    seeds: std::ops::Range<u64>,
+) -> StackHistStats {
+    let mut stats = StackHistStats::default();
+    for seed in seeds {
+        stats.runs += 1;
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| make(ctx),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, s: &S| {
+                    s.push(ctx, Val::Int(10));
+                    s.push(ctx, Val::Int(11));
+                }) as BodyFn<'_, _, ()>,
+                Box::new(|ctx: &mut ThreadCtx, s: &S| {
+                    s.push(ctx, Val::Int(20));
+                    s.pop(ctx);
+                }),
+                Box::new(|ctx: &mut ThreadCtx, s: &S| {
+                    s.pop(ctx);
+                    s.pop(ctx);
+                }),
+            ],
+            |_, s, _| s.obj().snapshot(),
+        );
+        match out.result {
+            Err(_) => stats.model_errors += 1,
+            Ok(g) => {
+                use compass::stack_spec::StackEvent;
+                if check_stack_consistent(&g).is_ok() {
+                    stats.consistent += 1;
+                }
+                let order = compass::abs::commit_order(&g);
+                if compass::history::validate_linearization(&g, &StackInterp, &order).is_ok() {
+                    stats.commit_order_witness += 1;
+                }
+                if find_linearization(&g, &StackInterp, &[]).is_some() {
+                    stats.hist_ok += 1;
+                }
+                if g.iter().any(|(_, e)| e.ty == StackEvent::EmpPop) {
+                    stats.with_emp_pops += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+/// Per-run statistics for the elimination-stack experiment (E5).
+#[derive(Clone, Debug, Default)]
+pub struct ElimStats {
+    /// Executions performed.
+    pub runs: u64,
+    /// Aborted executions.
+    pub model_errors: u64,
+    /// ES graph satisfies `StackConsistent`.
+    pub es_consistent: u64,
+    /// ES graph admits a linearization.
+    pub es_hist_ok: u64,
+    /// Base stack graph satisfies `StackConsistent`.
+    pub base_consistent: u64,
+    /// Exchanger graph satisfies `ExchangerConsistent`.
+    pub ex_consistent: u64,
+    /// Total eliminated pairs across all runs.
+    pub eliminations: u64,
+    /// Total successful exchanges across all runs (= 2 × matched pairs).
+    pub exchanges: u64,
+}
+
+/// Runs the mixed push/pop workload over an [`ElimStack`] and tallies
+/// compositional consistency.
+pub fn elim_stats(seeds: std::ops::Range<u64>, patience: u32) -> ElimStats {
+    let mut stats = ElimStats::default();
+    for seed in seeds {
+        stats.runs += 1;
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| ElimStack::new(ctx, patience),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
+                    s.push(ctx, Val::Int(10));
+                    s.push(ctx, Val::Int(11));
+                }) as BodyFn<'_, _, ()>,
+                Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
+                    s.pop(ctx);
+                    s.pop(ctx);
+                }),
+                Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
+                    s.push(ctx, Val::Int(30));
+                    s.pop(ctx);
+                }),
+            ],
+            |_, s, _| {
+                (
+                    s.obj().snapshot(),
+                    s.base_obj().snapshot(),
+                    s.exchanger_obj().snapshot(),
+                )
+            },
+        );
+        match out.result {
+            Err(_) => stats.model_errors += 1,
+            Ok((es, base, ex)) => {
+                if check_stack_consistent(&es).is_ok() {
+                    stats.es_consistent += 1;
+                }
+                if find_linearization(&es, &StackInterp, &[]).is_some() {
+                    stats.es_hist_ok += 1;
+                }
+                if check_stack_consistent(&base).is_ok() {
+                    stats.base_consistent += 1;
+                }
+                if check_exchanger_consistent(&ex).is_ok() {
+                    stats.ex_consistent += 1;
+                }
+                stats.eliminations += (es.len() - base.len()) as u64 / 2;
+                stats.exchanges += ex
+                    .iter()
+                    .filter(|(_, e)| e.ty.succeeded())
+                    .count() as u64;
+            }
+        }
+    }
+    stats
+}
+
+/// Per-run statistics for the Chase-Lev deque (E9/P3).
+#[derive(Clone, Debug, Default)]
+pub struct DequeStats {
+    /// Executions performed.
+    pub runs: u64,
+    /// Aborted executions.
+    pub model_errors: u64,
+    /// Graph satisfies `DequeConsistent`.
+    pub consistent: u64,
+    /// Mutator subgraph admits a linearization.
+    pub hist_ok: u64,
+}
+
+/// Runs the owner+2-thieves workload over `seeds` executions of a
+/// [`ChaseLevDeque`] and tallies consistency.
+pub fn deque_stats(seeds: std::ops::Range<u64>) -> DequeStats {
+    use compass::deque_spec::{check_deque_consistent, mutator_subgraph, DequeInterp};
+    let mut stats = DequeStats::default();
+    for seed in seeds {
+        stats.runs += 1;
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| ChaseLevDeque::new(ctx, 8),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                    d.push(ctx, Val::Int(1));
+                    d.push(ctx, Val::Int(2));
+                    d.pop(ctx);
+                    d.pop(ctx);
+                }) as BodyFn<'_, _, ()>,
+                Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                    d.steal(ctx);
+                }),
+                Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                    d.steal(ctx);
+                }),
+            ],
+            |_, d, _| d.obj().snapshot(),
+        );
+        match out.result {
+            Err(_) => stats.model_errors += 1,
+            Ok(g) => {
+                if check_deque_consistent(&g).is_ok() {
+                    stats.consistent += 1;
+                }
+                if find_linearization(&mutator_subgraph(&g), &DequeInterp, &[]).is_some() {
+                    stats.hist_ok += 1;
+                }
+            }
+        }
+    }
+    stats
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass_structures::buggy::RelaxedMsQueue;
+    use compass_structures::queue::{HwQueue, MsQueue};
+
+    #[test]
+    fn ms_queue_satisfies_every_style() {
+        let s = queue_spec_stats(MsQueue::new, 0..40);
+        assert_eq!(s.model_errors, 0);
+        assert_eq!(s.lat_hb, s.runs);
+        assert_eq!(s.lat_so, s.runs);
+        assert_eq!(s.lat_abs, s.runs, "MS commit order always replays");
+        assert_eq!(s.lat_hist, s.runs);
+    }
+
+    #[test]
+    fn hw_queue_satisfies_hb_but_not_always_abs() {
+        let s = queue_spec_stats(|ctx| HwQueue::new(ctx, 8), 0..300);
+        assert_eq!(s.model_errors, 0);
+        assert_eq!(s.lat_hb, s.runs, "LAT_hb always holds");
+        assert!(
+            s.lat_abs < s.runs,
+            "some HW executions must defeat commit-order abstract-state \
+             construction (the §3.2 phenomenon); got {}/{}",
+            s.lat_abs,
+            s.runs
+        );
+    }
+
+    #[test]
+    fn relaxed_ms_queue_fails_hb() {
+        let s = queue_spec_stats(RelaxedMsQueue::new, 0..200);
+        assert!(s.lat_hb < s.runs, "buggy queue must fail LAT_hb sometimes");
+    }
+
+    #[test]
+    fn treiber_always_linearizable() {
+        let s = treiber_hist_stats(0..40);
+        assert_eq!(s.model_errors, 0);
+        assert_eq!(s.consistent, s.runs);
+        assert_eq!(s.hist_ok, s.runs);
+    }
+
+    #[test]
+    fn deque_workload_consistent() {
+        let s = deque_stats(0..60);
+        assert_eq!(s.model_errors, 0);
+        assert_eq!(s.consistent, s.runs);
+        assert_eq!(s.hist_ok, s.runs);
+    }
+
+    #[test]
+    fn elimination_composition_consistent() {
+        let s = elim_stats(0..60, 3);
+        assert_eq!(s.model_errors, 0);
+        assert_eq!(s.es_consistent, s.runs);
+        assert_eq!(s.base_consistent, s.runs);
+        assert_eq!(s.ex_consistent, s.runs);
+    }
+}

@@ -1,0 +1,236 @@
+//! A small harness for checking a graph-producing model program against a
+//! consistency predicate over many explored executions.
+//!
+//! Wraps [`orc11`]'s exploration with per-clause violation accounting, so
+//! tests and experiments can say "run this workload under these
+//! strategies and tell me which clauses ever failed".
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use orc11::{dfs_strategy, pct_strategy, random_strategy, RunOutcome, Strategy};
+
+use crate::spec::Violation;
+
+/// How to explore the schedule space.
+#[derive(Clone, Debug)]
+pub enum Exploration {
+    /// `iters` seeded uniform-random executions starting at `seed0`.
+    Random {
+        /// Number of executions.
+        iters: u64,
+        /// First seed.
+        seed0: u64,
+    },
+    /// `iters` PCT executions with `depth` priority-change points.
+    Pct {
+        /// Number of executions.
+        iters: u64,
+        /// First seed.
+        seed0: u64,
+        /// Number of priority-change points.
+        depth: usize,
+    },
+    /// Bounded-exhaustive DFS with an execution budget.
+    Dfs {
+        /// Maximum executions before giving up on exhausting the tree.
+        budget: u64,
+    },
+}
+
+/// Aggregated checking results.
+#[derive(Debug, Default)]
+pub struct CheckReport {
+    /// Executions performed.
+    pub execs: u64,
+    /// Executions whose graph satisfied the predicate.
+    pub consistent: u64,
+    /// Violation counts per clause (`Violation::rule`).
+    pub violations: BTreeMap<&'static str, u64>,
+    /// First few concrete violations, for diagnostics.
+    pub samples: Vec<(u64, Violation)>,
+    /// Executions that aborted in the model (races, panics, ...).
+    pub model_errors: u64,
+    /// For DFS: whether the schedule tree was exhausted.
+    pub exhausted: bool,
+}
+
+impl CheckReport {
+    /// Panics unless every execution completed and satisfied the
+    /// predicate.
+    ///
+    /// # Panics
+    ///
+    /// On any model error or violation.
+    pub fn assert_clean(&self) {
+        assert_eq!(self.model_errors, 0, "model errors: {self}");
+        assert_eq!(self.consistent, self.execs, "violations: {self}");
+    }
+
+    /// Whether the clause ever fired.
+    pub fn violated(&self, rule: &str) -> bool {
+        self.violations.keys().any(|&r| r == rule)
+    }
+}
+
+impl fmt::Display for CheckReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}/{} consistent, {} model errors{}",
+            self.consistent,
+            self.execs,
+            self.model_errors,
+            if self.exhausted { " (exhaustive)" } else { "" }
+        )?;
+        if !self.violations.is_empty() {
+            write!(f, "; violations: {:?}", self.violations)?;
+        }
+        if let Some((id, v)) = self.samples.first() {
+            write!(f, "; first: exec {id}: {v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Runs `program` (a closure from a strategy to a run outcome whose value
+/// is a graph or similar) under `exploration`, checking each completed
+/// execution with `check`.
+pub fn check_executions<G>(
+    exploration: &Exploration,
+    mut program: impl FnMut(Box<dyn Strategy>) -> RunOutcome<G>,
+    mut check: impl FnMut(&G) -> Result<(), Violation>,
+) -> CheckReport {
+    let mut report = CheckReport::default();
+    let mut record = |report: &mut CheckReport, id: u64, out: &RunOutcome<G>| {
+        report.execs += 1;
+        match &out.result {
+            Err(_) => report.model_errors += 1,
+            Ok(g) => match check(g) {
+                Ok(()) => report.consistent += 1,
+                Err(v) => {
+                    *report.violations.entry(v.rule).or_insert(0) += 1;
+                    if report.samples.len() < 8 {
+                        report.samples.push((id, v));
+                    }
+                }
+            },
+        }
+    };
+    match *exploration {
+        Exploration::Random { iters, seed0 } => {
+            for i in 0..iters {
+                let out = program(random_strategy(seed0 + i));
+                record(&mut report, seed0 + i, &out);
+            }
+        }
+        Exploration::Pct {
+            iters,
+            seed0,
+            depth,
+        } => {
+            for i in 0..iters {
+                let out = program(pct_strategy(seed0 + i, depth, 64));
+                record(&mut report, seed0 + i, &out);
+            }
+        }
+        Exploration::Dfs { budget } => {
+            // Re-implement the DFS driver so we can see every outcome.
+            let mut prefix: Vec<u32> = Vec::new();
+            let mut n = 0u64;
+            loop {
+                if n >= budget {
+                    break;
+                }
+                let out = program(dfs_strategy(prefix.clone()));
+                record(&mut report, n, &out);
+                n += 1;
+                let mut trace: Vec<(u32, u32)> =
+                    out.trace.iter().map(|c| (c.chosen, c.arity)).collect();
+                let mut backtracked = false;
+                while let Some((chosen, arity)) = trace.pop() {
+                    if chosen + 1 < arity {
+                        trace.push((chosen + 1, arity));
+                        prefix = trace.iter().map(|&(c, _)| c).collect();
+                        backtracked = true;
+                        break;
+                    }
+                }
+                if !backtracked {
+                    report.exhausted = true;
+                    break;
+                }
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue_spec::{check_queue_consistent, QueueEvent};
+    use crate::Graph;
+    use orc11::{run_model, BodyFn, Config, Val};
+
+    fn trivial_program(strategy: Box<dyn Strategy>) -> RunOutcome<Graph<QueueEvent>> {
+        run_model(
+            &Config::default(),
+            strategy,
+            |ctx| ctx.alloc("x", Val::Int(0)),
+            vec![Box::new(|ctx: &mut orc11::ThreadCtx, &l: &orc11::Loc| {
+                ctx.write(l, Val::Int(1), orc11::Mode::Release);
+            }) as BodyFn<'_, _, ()>],
+            |_, _, _| Graph::new(),
+        )
+    }
+
+    #[test]
+    fn random_exploration_counts() {
+        let report = check_executions(
+            &Exploration::Random { iters: 10, seed0: 0 },
+            trivial_program,
+            |g| check_queue_consistent(g),
+        );
+        assert_eq!(report.execs, 10);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn dfs_exhausts_trivial_program() {
+        let report = check_executions(
+            &Exploration::Dfs { budget: 100 },
+            trivial_program,
+            |g| check_queue_consistent(g),
+        );
+        assert!(report.exhausted);
+        report.assert_clean();
+    }
+
+    #[test]
+    fn violations_are_tallied_per_rule() {
+        let mut flip = false;
+        let report = check_executions(
+            &Exploration::Pct {
+                iters: 6,
+                seed0: 0,
+                depth: 2,
+            },
+            trivial_program,
+            |_| {
+                flip = !flip;
+                if flip {
+                    Err(Violation::new("TEST-RULE", "synthetic", vec![]))
+                } else {
+                    Ok(())
+                }
+            },
+        );
+        assert_eq!(report.execs, 6);
+        assert_eq!(report.consistent, 3);
+        assert_eq!(report.violations["TEST-RULE"], 3);
+        assert!(report.violated("TEST-RULE"));
+        assert!(!report.violated("OTHER"));
+        assert!(report.to_string().contains("TEST-RULE"));
+    }
+}

@@ -1,0 +1,345 @@
+//! Event graphs: events plus the `so` matching relation.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use orc11::ThreadId;
+
+use crate::event::{Event, EventId};
+use crate::spec::{SpecResult, Violation};
+
+/// A library object's event graph (the paper's `G ∈ Graph`, §3.1): the
+/// events committed so far and the *synchronized-with* relation `so`
+/// between matched operations (enqueue/dequeue, push/pop, or a pair of
+/// successful exchanges).
+///
+/// Local happens-before (`lhb`) is not stored separately: `(e, d) ∈ G.lhb`
+/// iff `e ∈ G(d).logview` (see [`Graph::lhb`]).
+///
+/// ```
+/// use compass::{EventId, Graph};
+///
+/// let mut g: Graph<&str> = Graph::new();
+/// let e = g.add_event("enq", 1, 10, [EventId::from_raw(0)].into_iter().collect());
+/// let d = g.add_event("deq", 2, 20,
+///                     [EventId::from_raw(0), EventId::from_raw(1)].into_iter().collect());
+/// g.add_so(e, d);
+/// assert!(g.lhb(e, d));
+/// assert_eq!(g.so_source(d), Some(e));
+/// g.check_well_formed().unwrap();
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Graph<T> {
+    events: Vec<Event<T>>,
+    so: BTreeSet<(EventId, EventId)>,
+}
+
+impl<T> Graph<T> {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph {
+            events: Vec::new(),
+            so: BTreeSet::new(),
+        }
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the graph has no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The id the next committed event will get.
+    pub fn next_id(&self) -> EventId {
+        EventId::from_raw(self.events.len() as u64)
+    }
+
+    /// The event with id `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is not in the graph.
+    pub fn event(&self, id: EventId) -> &Event<T> {
+        &self.events[id.index()]
+    }
+
+    /// Iterates over `(id, event)` pairs in id (commit) order.
+    pub fn iter(&self) -> impl Iterator<Item = (EventId, &Event<T>)> {
+        self.events
+            .iter()
+            .enumerate()
+            .map(|(i, e)| (EventId::from_raw(i as u64), e))
+    }
+
+    /// The `so` relation.
+    pub fn so(&self) -> &BTreeSet<(EventId, EventId)> {
+        &self.so
+    }
+
+    /// Local happens-before: `e` happens before `d` (strictly).
+    pub fn lhb(&self, e: EventId, d: EventId) -> bool {
+        e != d && self.events[d.index()].logview.contains(&e)
+    }
+
+    /// Adds an event; returns its id.
+    pub fn add_event(
+        &mut self,
+        ty: T,
+        tid: ThreadId,
+        step: u64,
+        logview: BTreeSet<EventId>,
+    ) -> EventId {
+        let id = self.next_id();
+        self.events.push(Event {
+            ty,
+            tid,
+            step,
+            logview,
+        });
+        id
+    }
+
+    /// Adds an `so` edge.
+    pub fn add_so(&mut self, from: EventId, to: EventId) {
+        self.so.insert((from, to));
+    }
+
+    /// The unique `so`-successor of `e`, if any (e.g. the dequeue matching
+    /// an enqueue).
+    pub fn so_target(&self, e: EventId) -> Option<EventId> {
+        self.so
+            .iter()
+            .find(|&&(a, _)| a == e)
+            .map(|&(_, b)| b)
+    }
+
+    /// The unique `so`-predecessor of `d`, if any (e.g. the enqueue a
+    /// dequeue took its value from).
+    pub fn so_source(&self, d: EventId) -> Option<EventId> {
+        self.so
+            .iter()
+            .find(|&&(_, b)| b == d)
+            .map(|&(a, _)| a)
+    }
+
+    /// Structural well-formedness of logical views:
+    ///
+    /// * every id in a logview is an event of the graph;
+    /// * every event is in its own logview (the commit observes itself);
+    /// * logviews are closed under `lhb` (if `e ∈ logview(d)` then
+    ///   `logview(e) ⊆ logview(d)`) — logical views are *views*, i.e.
+    ///   downward-closed sets of the lhb partial order.
+    pub fn check_well_formed(&self) -> SpecResult {
+        let n = self.events.len() as u64;
+        for (id, ev) in self.iter() {
+            for &e in &ev.logview {
+                if e.raw() >= n {
+                    return Err(Violation::new(
+                        "WF-LOGVIEW",
+                        format!("logview of {id} contains unknown event {e}"),
+                        vec![id, e],
+                    ));
+                }
+            }
+            if !ev.logview.contains(&id) {
+                return Err(Violation::new(
+                    "WF-SELF",
+                    format!("event {id} is not in its own logview"),
+                    vec![id],
+                ));
+            }
+            for &e in &ev.logview {
+                if e != id && !self.events[e.index()].logview.is_subset(&ev.logview) {
+                    return Err(Violation::new(
+                        "WF-CLOSED",
+                        format!("logview of {id} contains {e} but not all of {e}'s logview"),
+                        vec![id, e],
+                    ));
+                }
+            }
+        }
+        for &(a, b) in &self.so {
+            if a.raw() >= n || b.raw() >= n {
+                return Err(Violation::new(
+                    "WF-SO",
+                    format!("so edge ({a}, {b}) mentions unknown events"),
+                    vec![a, b],
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// The subgraph of events satisfying `keep`, with ids compacted (in
+    /// id order), logviews and `so` restricted and remapped.
+    ///
+    /// Useful for checking a property on a projection of the history —
+    /// e.g. linearizability of a work-stealing deque's *mutators* only.
+    pub fn retain(&self, mut keep: impl FnMut(EventId, &Event<T>) -> bool) -> Graph<T>
+    where
+        T: Clone,
+    {
+        // Decide keeps and assign compacted ids first (logviews may refer
+        // forward within helping pairs).
+        let mut remap: Vec<Option<EventId>> = vec![None; self.events.len()];
+        let mut next = 0u64;
+        for (id, ev) in self.iter() {
+            if keep(id, ev) {
+                remap[id.index()] = Some(EventId::from_raw(next));
+                next += 1;
+            }
+        }
+        let mut g = Graph::new();
+        for (id, ev) in self.iter() {
+            if let Some(new_id) = remap[id.index()] {
+                let logview: BTreeSet<EventId> = ev
+                    .logview
+                    .iter()
+                    .filter_map(|e| remap.get(e.index()).copied().flatten())
+                    .chain(std::iter::once(new_id))
+                    .collect();
+                g.add_event(ev.ty.clone(), ev.tid, ev.step, logview);
+            }
+        }
+        for &(a, b) in &self.so {
+            if let (Some(na), Some(nb)) = (remap[a.index()], remap[b.index()]) {
+                g.add_so(na, nb);
+            }
+        }
+        g
+    }
+
+    /// The subgraph of events committed strictly before global step
+    /// `step`, with `so` restricted accordingly.
+    ///
+    /// Because ids are assigned in commit order, the prefix keeps ids
+    /// stable. Used to check that consistency held *invariantly*, not just
+    /// in the final graph.
+    pub fn prefix_at(&self, step: u64) -> Graph<T>
+    where
+        T: Clone,
+    {
+        let keep = |id: EventId| self.events[id.index()].step < step;
+        let events: Vec<Event<T>> = self
+            .events
+            .iter()
+            .take_while(|e| e.step < step)
+            .map(|e| Event {
+                ty: e.ty.clone(),
+                tid: e.tid,
+                step: e.step,
+                logview: e.logview.iter().copied().filter(|&x| keep(x)).collect(),
+            })
+            .collect();
+        let so = self
+            .so
+            .iter()
+            .copied()
+            .filter(|&(a, b)| keep(a) && keep(b))
+            .collect();
+        Graph { events, so }
+    }
+}
+
+impl<T: fmt::Debug> fmt::Display for Graph<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "graph with {} events:", self.len())?;
+        for (id, ev) in self.iter() {
+            writeln!(
+                f,
+                "  {id}: {:?} by t{} @step {} lhb-preds {:?}",
+                ev.ty,
+                ev.tid,
+                ev.step,
+                ev.logview.iter().filter(|&&e| e != id).collect::<Vec<_>>()
+            )?;
+        }
+        writeln!(f, "  so: {:?}", self.so)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lv(ids: &[u64]) -> BTreeSet<EventId> {
+        ids.iter().map(|&i| EventId::from_raw(i)).collect()
+    }
+
+    #[test]
+    fn add_and_query() {
+        let mut g: Graph<&str> = Graph::new();
+        let a = g.add_event("enq", 1, 10, lv(&[0]));
+        let b = g.add_event("deq", 2, 20, lv(&[0, 1]));
+        assert_eq!(g.len(), 2);
+        assert_eq!(g.event(a).ty, "enq");
+        assert!(g.lhb(a, b));
+        assert!(!g.lhb(b, a));
+        assert!(!g.lhb(a, a), "lhb is strict");
+        g.add_so(a, b);
+        assert_eq!(g.so_target(a), Some(b));
+        assert_eq!(g.so_source(b), Some(a));
+        assert_eq!(g.so_source(a), None);
+    }
+
+    #[test]
+    fn well_formed_accepts_good_graph() {
+        let mut g: Graph<&str> = Graph::new();
+        g.add_event("a", 1, 1, lv(&[0]));
+        g.add_event("b", 1, 2, lv(&[0, 1]));
+        g.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn well_formed_rejects_missing_self() {
+        let mut g: Graph<&str> = Graph::new();
+        g.add_event("a", 1, 1, lv(&[]));
+        let err = g.check_well_formed().unwrap_err();
+        assert_eq!(err.rule, "WF-SELF");
+    }
+
+    #[test]
+    fn well_formed_rejects_unknown_event() {
+        let mut g: Graph<&str> = Graph::new();
+        g.add_event("a", 1, 1, lv(&[0, 7]));
+        assert_eq!(g.check_well_formed().unwrap_err().rule, "WF-LOGVIEW");
+    }
+
+    #[test]
+    fn well_formed_rejects_unclosed_logview() {
+        let mut g: Graph<&str> = Graph::new();
+        g.add_event("a", 1, 1, lv(&[0]));
+        g.add_event("b", 2, 2, lv(&[0, 1]));
+        // c sees b but not a, although a ∈ logview(b): not a view.
+        g.add_event("c", 3, 3, lv(&[1, 2]));
+        assert_eq!(g.check_well_formed().unwrap_err().rule, "WF-CLOSED");
+    }
+
+    #[test]
+    fn mutual_logviews_are_well_formed() {
+        // A helping pair: both events share the same logview.
+        let mut g: Graph<&str> = Graph::new();
+        g.add_event("x1", 1, 5, lv(&[0, 1]));
+        g.add_event("x2", 2, 5, lv(&[0, 1]));
+        g.check_well_formed().unwrap();
+    }
+
+    #[test]
+    fn prefix_filters_events_and_so() {
+        let mut g: Graph<&str> = Graph::new();
+        let a = g.add_event("a", 1, 1, lv(&[0]));
+        let b = g.add_event("b", 2, 5, lv(&[0, 1]));
+        g.add_so(a, b);
+        let p = g.prefix_at(5);
+        assert_eq!(p.len(), 1);
+        assert!(p.so().is_empty());
+        let full = g.prefix_at(6);
+        assert_eq!(full.len(), 2);
+        assert_eq!(full.so().len(), 1);
+        full.check_well_formed().unwrap();
+    }
+}

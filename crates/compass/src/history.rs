@@ -1,0 +1,462 @@
+//! Linearizable histories (`LAT_hb^hist`, §3.3): searching for a total
+//! order `to` that *respects* (but need not imply) local happens-before
+//! and interprets to a sequential abstract state.
+
+use std::collections::HashSet;
+use std::fmt;
+use std::hash::Hash;
+
+use orc11::Val;
+
+use crate::event::EventId;
+use crate::graph::Graph;
+use crate::queue_spec::QueueEvent;
+use crate::spec::{SpecResult, Violation};
+use crate::stack_spec::StackEvent;
+
+/// A sequential interpretation of events (the paper's `interp(to, vs)`):
+/// applies one event to an abstract state, failing if the event is not
+/// enabled.
+pub trait SeqInterp {
+    /// The event type.
+    type Ev;
+    /// The abstract state (`vs`).
+    type State: Clone + Eq + Hash + Default + fmt::Debug;
+
+    /// Applies `ev` to `st`, or `None` if the sequential semantics forbids
+    /// it (e.g. `Pop(v)` when `v` is not on top).
+    fn apply(&self, st: &Self::State, ev: &Self::Ev) -> Option<Self::State>;
+
+    /// Whether `ev` is read-only (does not modify the abstract state) —
+    /// e.g. an empty dequeue. The `LAT_hb^abs` commit-order replay skips
+    /// read-only events, because the paper's abs-style specs give no facts
+    /// about `vs` for them (§2.3); the `LAT_hb^hist` linearization search
+    /// does *not* skip them (§3.3 demands a total order in which even an
+    /// empty pop sees a truly empty state).
+    fn read_only(&self, ev: &Self::Ev) -> bool {
+        let _ = ev;
+        false
+    }
+}
+
+/// Sequential FIFO queue semantics.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct QueueInterp;
+
+impl SeqInterp for QueueInterp {
+    type Ev = QueueEvent;
+    type State = std::collections::VecDeque<Val>;
+
+    fn apply(&self, st: &Self::State, ev: &Self::Ev) -> Option<Self::State> {
+        let mut st = st.clone();
+        match ev {
+            QueueEvent::Enq(v) => {
+                st.push_back(*v);
+                Some(st)
+            }
+            QueueEvent::Deq(v) => {
+                if st.front() == Some(v) {
+                    st.pop_front();
+                    Some(st)
+                } else {
+                    None
+                }
+            }
+            QueueEvent::EmpDeq => st.is_empty().then_some(st),
+        }
+    }
+
+    fn read_only(&self, ev: &Self::Ev) -> bool {
+        matches!(ev, QueueEvent::EmpDeq)
+    }
+}
+
+/// Sequential LIFO stack semantics (the paper's `interp` in Figure 4).
+#[derive(Copy, Clone, Debug, Default)]
+pub struct StackInterp;
+
+impl SeqInterp for StackInterp {
+    type Ev = StackEvent;
+    type State = Vec<Val>;
+
+    fn apply(&self, st: &Self::State, ev: &Self::Ev) -> Option<Self::State> {
+        let mut st = st.clone();
+        match ev {
+            StackEvent::Push(v) => {
+                st.push(*v);
+                Some(st)
+            }
+            StackEvent::Pop(v) => {
+                if st.last() == Some(v) {
+                    st.pop();
+                    Some(st)
+                } else {
+                    None
+                }
+            }
+            StackEvent::EmpPop => st.is_empty().then_some(st),
+        }
+    }
+
+    fn read_only(&self, ev: &Self::Ev) -> bool {
+        matches!(ev, StackEvent::EmpPop)
+    }
+}
+
+/// A growable bitset over event indices.
+#[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
+struct BitSet(Vec<u64>);
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet(vec![0; n.div_ceil(64)])
+    }
+    fn set(&mut self, i: usize) {
+        self.0[i / 64] |= 1 << (i % 64);
+    }
+    fn clear(&mut self, i: usize) {
+        self.0[i / 64] &= !(1 << (i % 64));
+    }
+    fn get(&self, i: usize) -> bool {
+        self.0[i / 64] & (1 << (i % 64)) != 0
+    }
+}
+
+/// Searches for a linearization: a permutation `to` of the graph's events
+/// such that
+///
+/// * `to` respects `lhb` (`H.lhb ⊆ to`) and every `extra` edge, and
+/// * replaying `to` through `interp` from the default state succeeds
+///   (`interp(to, vs)` for some `vs`).
+///
+/// Returns the first such order found, or `None` if none exists. The
+/// search is exponential in the worst case but memoizes on
+/// (done-set, abstract state), which keeps the histories produced by model
+/// executions tractable.
+///
+/// ```
+/// use compass::history::{find_linearization, QueueInterp};
+/// use compass::queue_spec::QueueEvent;
+/// use compass::{EventId, Graph};
+/// use orc11::Val;
+///
+/// // A dequeue committed before its (concurrent) enqueue: the commit
+/// // order is not sequential, but a reordering exists.
+/// let mut g = Graph::new();
+/// g.add_event(QueueEvent::Deq(Val::Int(1)), 2, 10,
+///             [EventId::from_raw(0)].into_iter().collect());
+/// g.add_event(QueueEvent::Enq(Val::Int(1)), 1, 20,
+///             [EventId::from_raw(1)].into_iter().collect());
+/// let to = find_linearization(&g, &QueueInterp, &[]).expect("linearizable");
+/// assert_eq!(to, vec![EventId::from_raw(1), EventId::from_raw(0)]);
+/// ```
+pub fn find_linearization<I: SeqInterp>(
+    g: &Graph<I::Ev>,
+    interp: &I,
+    extra: &[(EventId, EventId)],
+) -> Option<Vec<EventId>> {
+    let n = g.len();
+    if n == 0 {
+        return Some(Vec::new());
+    }
+    // preds[i] = events that must precede i.
+    let mut preds: Vec<Vec<usize>> = g
+        .iter()
+        .map(|(id, ev)| {
+            ev.logview
+                .iter()
+                .copied()
+                .filter(|&e| e != id)
+                .map(|e| e.index())
+                .collect::<Vec<usize>>()
+        })
+        .collect();
+    for &(a, b) in extra {
+        preds[b.index()].push(a.index());
+    }
+    // Mutual lhb (helping pairs have each other in their logviews) would
+    // make the constraints unsatisfiable; keep only the id-ordered half
+    // (helpee before helper).
+    for i in 0..n {
+        let me = EventId::from_raw(i as u64);
+        preds[i].retain(|&p| {
+            let mutual = g
+                .event(EventId::from_raw(p as u64))
+                .logview
+                .contains(&me);
+            !(mutual && p > i)
+        });
+        preds[i].sort_unstable();
+        preds[i].dedup();
+    }
+
+    let mut done = BitSet::new(n);
+    let mut order: Vec<EventId> = Vec::with_capacity(n);
+    let mut memo: HashSet<(BitSet, I::State)> = HashSet::new();
+    let state = I::State::default();
+
+    fn dfs<I: SeqInterp>(
+        g: &Graph<I::Ev>,
+        interp: &I,
+        preds: &[Vec<usize>],
+        done: &mut BitSet,
+        order: &mut Vec<EventId>,
+        state: &I::State,
+        memo: &mut HashSet<(BitSet, I::State)>,
+        n: usize,
+    ) -> bool {
+        if order.len() == n {
+            return true;
+        }
+        if !memo.insert((done.clone(), state.clone())) {
+            return false;
+        }
+        for i in 0..n {
+            if done.get(i) || !preds[i].iter().all(|&p| done.get(p)) {
+                continue;
+            }
+            let id = EventId::from_raw(i as u64);
+            if let Some(next) = interp.apply(state, &g.event(id).ty) {
+                done.set(i);
+                order.push(id);
+                if dfs(g, interp, preds, done, order, &next, memo, n) {
+                    return true;
+                }
+                order.pop();
+                done.clear(i);
+            }
+        }
+        false
+    }
+
+    if dfs(g, interp, &preds, &mut done, &mut order, &state, &mut memo, n) {
+        Some(order)
+    } else {
+        None
+    }
+}
+
+/// Validates that `order` is a linearization of `g`: a permutation
+/// respecting `lhb` whose replay through `interp` succeeds.
+pub fn validate_linearization<I: SeqInterp>(
+    g: &Graph<I::Ev>,
+    interp: &I,
+    order: &[EventId],
+) -> SpecResult {
+    if order.len() != g.len() {
+        return Err(Violation::new(
+            "HIST-PERMUTE",
+            format!("order has {} events, graph has {}", order.len(), g.len()),
+            order.to_vec(),
+        ));
+    }
+    let mut pos = vec![usize::MAX; g.len()];
+    for (k, &id) in order.iter().enumerate() {
+        if id.index() >= g.len() || pos[id.index()] != usize::MAX {
+            return Err(Violation::new(
+                "HIST-PERMUTE",
+                format!("{id} repeated or unknown"),
+                vec![id],
+            ));
+        }
+        pos[id.index()] = k;
+    }
+    for (d, ev) in g.iter() {
+        for &e in &ev.logview {
+            if e == d {
+                continue;
+            }
+            // Helping pairs are mutually lhb-related; only the id order is
+            // required of `to` for them.
+            if g.event(e).logview.contains(&d) {
+                continue;
+            }
+            if pos[e.index()] > pos[d.index()] {
+                return Err(Violation::new(
+                    "HIST-RESPECTS-LHB",
+                    format!("{e} lhb {d} but comes later in to"),
+                    vec![e, d],
+                ));
+            }
+        }
+    }
+    let mut st = I::State::default();
+    for &id in order {
+        match interp.apply(&st, &g.event(id).ty) {
+            Some(next) => st = next,
+            None => {
+                return Err(Violation::new(
+                    "HIST-INTERP",
+                    format!("{id} ({:?}-th in to) is not sequentially enabled", pos[id.index()]),
+                    vec![id],
+                ))
+            }
+        }
+    }
+    Ok(())
+}
+
+/// The `LAT_hb^hist` satisfaction check (HIST-HB-*-LINEARIZABLE): some
+/// linearization exists.
+pub fn check_linearizable<I: SeqInterp>(g: &Graph<I::Ev>, interp: &I) -> SpecResult {
+    match find_linearization(g, interp, &[]) {
+        Some(order) => validate_linearization(g, interp, &order),
+        None => Err(Violation::new(
+            "HIST-LINEARIZABLE",
+            "no linearization respecting lhb exists".to_string(),
+            Vec::new(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    fn id(i: u64) -> EventId {
+        EventId::from_raw(i)
+    }
+
+    fn graph<T: Copy>(events: &[(T, u64, &[u64])]) -> Graph<T> {
+        let mut g = Graph::new();
+        for (i, (ty, step, preds)) in events.iter().enumerate() {
+            let mut lv: BTreeSet<EventId> = preds.iter().map(|&p| id(p)).collect();
+            let mut closed = lv.clone();
+            for &p in &lv {
+                closed.extend(g.event(p).logview.iter().copied());
+            }
+            lv = closed;
+            lv.insert(id(i as u64));
+            g.add_event(*ty, 1, *step, lv);
+        }
+        g
+    }
+
+    use QueueEvent::{Deq, EmpDeq, Enq};
+    use StackEvent::{EmpPop, Pop, Push};
+
+    #[test]
+    fn queue_interp_semantics() {
+        let i = QueueInterp;
+        let st = i.apply(&Default::default(), &Enq(Val::Int(1))).unwrap();
+        let st = i.apply(&st, &Enq(Val::Int(2))).unwrap();
+        assert!(i.apply(&st, &Deq(Val::Int(2))).is_none(), "not FIFO head");
+        let st = i.apply(&st, &Deq(Val::Int(1))).unwrap();
+        assert!(i.apply(&st, &EmpDeq).is_none(), "not empty yet");
+        let st = i.apply(&st, &Deq(Val::Int(2))).unwrap();
+        i.apply(&st, &EmpDeq).unwrap();
+    }
+
+    #[test]
+    fn stack_interp_semantics() {
+        let i = StackInterp;
+        let st = i.apply(&Default::default(), &Push(Val::Int(1))).unwrap();
+        let st = i.apply(&st, &Push(Val::Int(2))).unwrap();
+        assert!(i.apply(&st, &Pop(Val::Int(1))).is_none(), "not on top");
+        let st = i.apply(&st, &Pop(Val::Int(2))).unwrap();
+        let st = i.apply(&st, &Pop(Val::Int(1))).unwrap();
+        i.apply(&st, &EmpPop).unwrap();
+    }
+
+    #[test]
+    fn finds_reordering_against_commit_order() {
+        // Commit order is Deq-before-Enq-completion impossible sequentially;
+        // here: events with NO lhb edges, committed in a "wrong" order, and
+        // the search must reorder them.
+        let g = graph(&[
+            (Deq(Val::Int(1)), 10, &[]),
+            (Enq(Val::Int(1)), 20, &[]),
+        ]);
+        let to = find_linearization(&g, &QueueInterp, &[]).unwrap();
+        assert_eq!(to, vec![id(1), id(0)]);
+        validate_linearization(&g, &QueueInterp, &to).unwrap();
+    }
+
+    #[test]
+    fn respects_lhb_constraints() {
+        // EmpDeq happens-after the enqueue: no valid linearization (the
+        // enqueue would have to come first but then the queue is nonempty).
+        let g = graph(&[
+            (Enq(Val::Int(1)), 1, &[]),
+            (EmpDeq, 2, &[0]),
+        ]);
+        assert!(find_linearization(&g, &QueueInterp, &[]).is_none());
+        assert!(check_linearizable(&g, &QueueInterp).is_err());
+    }
+
+    #[test]
+    fn emppop_can_slide_before_concurrent_push() {
+        // The empty pop is concurrent with the push: linearize it first.
+        let g = graph(&[
+            (Push(Val::Int(1)), 1, &[]),
+            (EmpPop, 2, &[]),
+        ]);
+        let to = find_linearization(&g, &StackInterp, &[]).unwrap();
+        assert_eq!(to, vec![id(1), id(0)]);
+    }
+
+    #[test]
+    fn extra_edges_constrain_search() {
+        let g = graph(&[
+            (Push(Val::Int(1)), 1, &[]),
+            (EmpPop, 2, &[]),
+        ]);
+        // Forcing push before emp-pop makes it unsatisfiable.
+        assert!(find_linearization(&g, &StackInterp, &[(id(0), id(1))]).is_none());
+    }
+
+    #[test]
+    fn lifo_reordering_found() {
+        // push1 push2 pop2 pop1 committed as push1 push2 pop1 pop2 would be
+        // invalid; with no lhb between the pops the search reorders.
+        let g = graph(&[
+            (Push(Val::Int(1)), 1, &[]),
+            (Push(Val::Int(2)), 2, &[0]),
+            (Pop(Val::Int(1)), 3, &[0]),
+            (Pop(Val::Int(2)), 4, &[1]),
+        ]);
+        let to = find_linearization(&g, &StackInterp, &[]).unwrap();
+        validate_linearization(&g, &StackInterp, &to).unwrap();
+    }
+
+    #[test]
+    fn validate_rejects_bad_orders() {
+        let g = graph(&[
+            (Enq(Val::Int(1)), 1, &[]),
+            (Deq(Val::Int(1)), 2, &[0]),
+        ]);
+        // Wrong length.
+        assert!(validate_linearization(&g, &QueueInterp, &[id(0)]).is_err());
+        // Duplicate.
+        assert!(validate_linearization(&g, &QueueInterp, &[id(0), id(0)]).is_err());
+        // lhb violated.
+        assert_eq!(
+            validate_linearization(&g, &QueueInterp, &[id(1), id(0)])
+                .unwrap_err()
+                .rule,
+            "HIST-RESPECTS-LHB"
+        );
+        // Good order.
+        validate_linearization(&g, &QueueInterp, &[id(0), id(1)]).unwrap();
+    }
+
+    #[test]
+    fn helping_pair_mutual_lhb_is_searchable() {
+        // Elimination pair: push and pop with each other in their logviews.
+        let mut g: Graph<StackEvent> = Graph::new();
+        let lv: BTreeSet<EventId> = [id(0), id(1)].into_iter().collect();
+        g.add_event(Push(Val::Int(5)), 1, 7, lv.clone());
+        g.add_event(Pop(Val::Int(5)), 2, 7, lv);
+        let to = find_linearization(&g, &StackInterp, &[]).unwrap();
+        assert_eq!(to, vec![id(0), id(1)]);
+        validate_linearization(&g, &StackInterp, &to).unwrap();
+    }
+
+    #[test]
+    fn empty_graph_linearizes() {
+        let g: Graph<QueueEvent> = Graph::new();
+        assert_eq!(find_linearization(&g, &QueueInterp, &[]), Some(vec![]));
+        check_linearizable(&g, &QueueInterp).unwrap();
+    }
+}

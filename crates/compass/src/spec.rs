@@ -1,0 +1,54 @@
+//! Specification results and violation diagnostics.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::event::EventId;
+
+/// A violated consistency clause, with enough context to debug the
+/// offending execution.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Violation {
+    /// The clause, e.g. `"QUEUE-FIFO"`.
+    pub rule: &'static str,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// The events involved.
+    pub events: Vec<EventId>,
+}
+
+impl Violation {
+    /// Creates a violation of `rule`.
+    pub fn new(rule: &'static str, message: impl Into<String>, events: Vec<EventId>) -> Self {
+        Violation {
+            rule,
+            message: message.into(),
+            events,
+        }
+    }
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}] {} (events {:?})", self.rule, self.message, self.events)
+    }
+}
+
+impl Error for Violation {}
+
+/// Result of a consistency check.
+pub type SpecResult = Result<(), Violation>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_and_events() {
+        let v = Violation::new("QUEUE-FIFO", "out of order", vec![EventId::from_raw(1)]);
+        let s = v.to_string();
+        assert!(s.contains("QUEUE-FIFO"));
+        assert!(s.contains("out of order"));
+        assert!(s.contains("e1"));
+    }
+}

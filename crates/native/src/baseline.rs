@@ -1,0 +1,116 @@
+//! Coarse-grained lock-based baselines for the benchmarks.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::Mutex;
+
+use crate::{ConcurrentQueue, ConcurrentStack};
+
+/// A stack guarded by one mutex — the baseline the lock-free structures
+/// are compared against.
+pub struct MutexStack<T> {
+    inner: Mutex<Vec<T>>,
+}
+
+impl<T> fmt::Debug for MutexStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MutexStack")
+    }
+}
+
+impl<T> Default for MutexStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MutexStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        MutexStack {
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for MutexStack<T> {
+    fn push(&self, v: T) {
+        self.inner.lock().unwrap().push(v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop()
+    }
+}
+
+/// A queue guarded by one mutex.
+pub struct MutexQueue<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> fmt::Debug for MutexQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MutexQueue")
+    }
+}
+
+impl<T> Default for MutexQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MutexQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        MutexQueue {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for MutexQueue<T> {
+    fn enqueue(&self, v: T) {
+        self.inner.lock().unwrap().push_back(v);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        self.inner.lock().unwrap().pop_front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::{queue_stress, stack_stress};
+
+    #[test]
+    fn mutex_stack_lifo() {
+        let s = MutexStack::new();
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn mutex_queue_fifo() {
+        let q = MutexQueue::new();
+        q.enqueue(1);
+        q.enqueue(2);
+        assert_eq!(q.dequeue(), Some(1));
+        assert_eq!(q.dequeue(), Some(2));
+        assert_eq!(q.dequeue(), None);
+    }
+
+    #[test]
+    fn mutex_stack_stress() {
+        stack_stress(&MutexStack::new(), 4, 2, 1000);
+    }
+
+    #[test]
+    fn mutex_queue_stress() {
+        queue_stress(&MutexQueue::new(), 4, 2, 1000);
+    }
+}

@@ -1,0 +1,295 @@
+//! The Chase-Lev work-stealing deque on real atomics (the paper's §6
+//! future work), after Lê, Pop, Cohen & Zappa Nardelli (PPoPP 2013).
+//!
+//! Single owner pushes/pops at the bottom, thieves steal from the top;
+//! `top` is advanced by CAS only; **SC fences** provide the store-load
+//! orderings the algorithm is famously incorrect without. The buffer is
+//! bounded and not recycled (a deque of capacity `n` accepts `n` pushes
+//! in total), matching the model twin.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release, SeqCst};
+use std::sync::atomic::{fence, AtomicI64, AtomicPtr};
+
+/// Handle for the single owner thread (not `Sync`: one owner).
+pub struct Worker<T> {
+    inner: std::sync::Arc<Inner<T>>,
+}
+
+/// Cloneable handle for thief threads.
+pub struct Stealer<T> {
+    inner: std::sync::Arc<Inner<T>>,
+}
+
+struct Inner<T> {
+    top: AtomicI64,
+    bottom: AtomicI64,
+    buf: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> fmt::Debug for Worker<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("chase_lev::Worker")
+            .field("capacity", &self.inner.buf.len())
+            .finish()
+    }
+}
+
+impl<T> fmt::Debug for Stealer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("chase_lev::Stealer")
+    }
+}
+
+impl<T> Clone for Stealer<T> {
+    fn clone(&self) -> Self {
+        Stealer {
+            inner: self.inner.clone(),
+        }
+    }
+}
+
+/// Outcome of a steal attempt.
+#[derive(Debug, PartialEq, Eq)]
+pub enum Steal<T> {
+    /// Stole a value.
+    Stolen(T),
+    /// The deque appeared empty.
+    Empty,
+    /// Lost a race; retry if desired.
+    Retry,
+}
+
+/// Creates a bounded work-stealing deque accepting up to `capacity`
+/// pushes in total.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn chase_lev<T: Send>(capacity: usize) -> (Worker<T>, Stealer<T>) {
+    assert!(capacity > 0, "capacity must be positive");
+    let inner = std::sync::Arc::new(Inner {
+        top: AtomicI64::new(0),
+        bottom: AtomicI64::new(0),
+        buf: (0..capacity)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect(),
+    });
+    (
+        Worker {
+            inner: inner.clone(),
+        },
+        Stealer { inner },
+    )
+}
+
+unsafe impl<T: Send> Send for Worker<T> {}
+unsafe impl<T: Send> Send for Stealer<T> {}
+unsafe impl<T: Send> Sync for Stealer<T> {}
+
+impl<T: Send> Worker<T> {
+    /// Pushes `v` at the bottom.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the total push capacity is exhausted.
+    pub fn push(&self, v: T) {
+        let q = &*self.inner;
+        let b = q.bottom.load(Relaxed);
+        assert!(
+            (b as usize) < q.buf.len(),
+            "chase-lev capacity {} exhausted",
+            q.buf.len()
+        );
+        let p = Box::into_raw(Box::new(v));
+        q.buf[b as usize].store(p, Relaxed);
+        // Publication: release so any acquire-read of bottom sees the
+        // element.
+        q.bottom.store(b + 1, Release);
+    }
+
+    /// Pops from the bottom, or `None` if the deque appears empty.
+    pub fn pop(&self) -> Option<T> {
+        let q = &*self.inner;
+        let b = q.bottom.load(Relaxed) - 1;
+        q.bottom.store(b, Release);
+        fence(SeqCst);
+        let t = q.top.load(Relaxed);
+        if t > b {
+            // Empty.
+            q.bottom.store(b + 1, Release);
+            return None;
+        }
+        let p = q.buf[b as usize].load(Relaxed);
+        if t < b {
+            // Plenty: safely ours.
+            return Some(unsafe { *Box::from_raw(p) });
+        }
+        // Last element: race thieves on top.
+        let won = q.top.compare_exchange(t, t + 1, AcqRel, Acquire).is_ok();
+        q.bottom.store(b + 1, Release);
+        won.then(|| unsafe { *Box::from_raw(p) })
+    }
+}
+
+impl<T: Send> Stealer<T> {
+    /// Attempts one steal from the top.
+    pub fn steal(&self) -> Steal<T> {
+        let q = &*self.inner;
+        let t = q.top.load(Acquire);
+        fence(SeqCst);
+        let b = q.bottom.load(Acquire);
+        if t >= b {
+            return Steal::Empty;
+        }
+        let p = q.buf[t as usize].load(Relaxed);
+        if q.top.compare_exchange(t, t + 1, AcqRel, Relaxed).is_ok() {
+            Steal::Stolen(unsafe { *Box::from_raw(p) })
+        } else {
+            Steal::Retry
+        }
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        // Runs when the last handle (worker or stealer) is dropped, so no
+        // concurrent access is possible; `top..bottom` are the live
+        // indices.
+        let t = *self.top.get_mut();
+        let b = *self.bottom.get_mut();
+        for i in t..b {
+            let p = *self.buf[i as usize].get_mut();
+            if !p.is_null() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    #[test]
+    fn owner_lifo() {
+        let (w, _s) = chase_lev::<i32>(8);
+        assert_eq!(w.pop(), None);
+        w.push(1);
+        w.push(2);
+        assert_eq!(w.pop(), Some(2));
+        w.push(3);
+        assert_eq!(w.pop(), Some(3));
+        assert_eq!(w.pop(), Some(1));
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn stealer_fifo() {
+        let (w, s) = chase_lev::<i32>(8);
+        w.push(1);
+        w.push(2);
+        assert_eq!(s.steal(), Steal::Stolen(1));
+        assert_eq!(s.steal(), Steal::Stolen(2));
+        assert_eq!(s.steal(), Steal::Empty);
+        assert_eq!(w.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_elements() {
+        let (w, _s) = chase_lev(16);
+        for i in 0..10 {
+            w.push(Box::new(i));
+        }
+        w.pop().unwrap();
+        drop(w);
+    }
+
+    #[test]
+    fn concurrent_owner_thieves_no_loss_no_dup() {
+        const N: u64 = 20_000;
+        let (w, s) = chase_lev::<u64>(N as usize);
+        let done = AtomicBool::new(false);
+        let all: Vec<u64> = std::thread::scope(|scope| {
+            let thieves: Vec<_> = (0..3)
+                .map(|_| {
+                    let s = s.clone();
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match s.steal() {
+                                Steal::Stolen(v) => got.push(v),
+                                Steal::Retry => std::hint::spin_loop(),
+                                Steal::Empty => {
+                                    if done.load(Ordering::Acquire) {
+                                        if let Steal::Stolen(v) = s.steal() {
+                                            got.push(v);
+                                            continue;
+                                        }
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let mut owner_got = Vec::new();
+            for i in 0..N {
+                w.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = w.pop() {
+                        owner_got.push(v);
+                    }
+                }
+            }
+            loop {
+                match w.pop() {
+                    Some(v) => owner_got.push(v),
+                    None => break,
+                }
+            }
+            done.store(true, Ordering::Release);
+            let mut all = owner_got;
+            for t in thieves {
+                all.extend(t.join().unwrap());
+            }
+            all
+        });
+        // Every pushed element is taken exactly once... except elements
+        // still in flight when the owner stopped popping: drain check.
+        let unique: BTreeSet<u64> = all.iter().copied().collect();
+        assert_eq!(unique.len(), all.len(), "duplicated element");
+        assert_eq!(all.len() as u64, N, "lost elements: {} of {N}", all.len());
+    }
+
+    #[test]
+    fn stealers_see_fifo_order() {
+        // One thief: its stolen sequence must be increasing (steals take
+        // from the top in push order).
+        const N: u64 = 10_000;
+        let (w, s) = chase_lev::<u64>(N as usize);
+        std::thread::scope(|scope| {
+            let h = scope.spawn(move || {
+                let mut got = Vec::new();
+                while got.len() < (N / 2) as usize {
+                    if let Steal::Stolen(v) = s.steal() {
+                        got.push(v);
+                    }
+                }
+                got
+            });
+            for i in 0..N {
+                w.push(i);
+            }
+            let got = h.join().unwrap();
+            assert!(got.windows(2).all(|p| p[0] < p[1]), "steals out of order");
+        });
+    }
+}

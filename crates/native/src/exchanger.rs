@@ -1,0 +1,274 @@
+//! An offer/response exchanger with helping, on real atomics (§4.2).
+//!
+//! A thread installs an *offer node* (its value plus a response cell) with
+//! a release CAS on the slot. A partner (the *helper*) matches by CASing
+//! the response cell from null to a box holding its own value — that
+//! single acquire-release CAS is where both exchanges take effect, after
+//! which the helper takes the offered value. The offerer (the *helpee*)
+//! spins on the response cell; on timeout it withdraws by CASing the cell
+//! to a cancellation marker, racing the helper on that same cell, so
+//! exactly one of {match, cancel} wins.
+//!
+//! Ownership discipline: the offer's `give` payload is moved out by
+//! whichever thread wins the response CAS (the helper on a match, the
+//! offerer on a cancel); the response box is created by the helper and
+//! consumed by the helpee. Offer nodes are reclaimed by the helpee via
+//! epochs.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::ptr;
+use std::sync::atomic::AtomicPtr;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+
+use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+
+fn cancelled<T>() -> *mut T {
+    1usize as *mut T
+}
+
+struct OfferNode<T> {
+    /// The offered value; moved out exactly once by the response-CAS
+    /// winner.
+    give: MaybeUninit<T>,
+    /// null → partner's boxed value (match) | `cancelled()` (withdrawn).
+    resp: AtomicPtr<T>,
+}
+
+/// A single-slot exchanger (see module docs).
+pub struct Exchanger<T> {
+    slot: Atomic<OfferNode<T>>,
+}
+
+impl<T> fmt::Debug for Exchanger<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("Exchanger")
+    }
+}
+
+unsafe impl<T: Send> Send for Exchanger<T> {}
+unsafe impl<T: Send> Sync for Exchanger<T> {}
+
+impl<T> Default for Exchanger<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Exchanger<T> {
+    /// Creates an exchanger with an empty slot.
+    pub fn new() -> Self {
+        Exchanger {
+            slot: Atomic::null(),
+        }
+    }
+}
+
+impl<T: Send> Exchanger<T> {
+    /// Attempts to exchange `v` with another thread, spinning for up to
+    /// `patience` iterations while an installed offer waits.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` (giving the value back) if no partner arrived.
+    pub fn exchange(&self, v: T, patience: u32) -> Result<T, T> {
+        let guard = &epoch::pin();
+        let node = Owned::new(OfferNode {
+            give: MaybeUninit::new(v),
+            resp: AtomicPtr::new(ptr::null_mut()),
+        });
+        match self
+            .slot
+            .compare_exchange(Shared::null(), node, Release, Acquire, guard)
+        {
+            Ok(my) => self.wait_as_helpee(my, patience, guard),
+            Err(e) => {
+                // We still own the node; move the value back out (the
+                // node's `give` is MaybeUninit, so dropping the shell
+                // cannot double-drop).
+                let v = unsafe { ptr::read(e.new.give.as_ptr()) };
+                let cur = e.current;
+                match unsafe { cur.as_ref() } {
+                    Some(offer) => self.try_help(cur, offer, v, guard),
+                    None => Err(v),
+                }
+            }
+        }
+    }
+
+    /// Installed path: spin for a partner, withdraw on timeout.
+    fn wait_as_helpee(
+        &self,
+        my: Shared<'_, OfferNode<T>>,
+        patience: u32,
+        guard: &Guard,
+    ) -> Result<T, T> {
+        let my_ref = unsafe { my.deref() };
+        for _ in 0..patience {
+            let p = my_ref.resp.load(Acquire);
+            if !p.is_null() {
+                return Ok(self.finish_helpee(my, p, guard));
+            }
+            std::hint::spin_loop();
+        }
+        match my_ref
+            .resp
+            .compare_exchange(ptr::null_mut(), cancelled(), AcqRel, Acquire)
+        {
+            Ok(_) => {
+                // Withdrawn: reclaim our value and the node.
+                let v = unsafe { ptr::read(my_ref.give.as_ptr()) };
+                let _ = self
+                    .slot
+                    .compare_exchange(my, Shared::null(), Relaxed, Relaxed, guard);
+                unsafe { guard.defer_destroy(my) };
+                Err(v)
+            }
+            // A helper matched at the last moment.
+            Err(p) => Ok(self.finish_helpee(my, p, guard)),
+        }
+    }
+
+    /// A partner responded with boxed value `p`: consume it and retire the
+    /// offer node (our `give` was taken by the helper).
+    fn finish_helpee(&self, my: Shared<'_, OfferNode<T>>, p: *mut T, guard: &Guard) -> T {
+        debug_assert!(p != cancelled());
+        let their = unsafe { *Box::from_raw(p) };
+        let _ = self
+            .slot
+            .compare_exchange(my, Shared::null(), Relaxed, Relaxed, guard);
+        unsafe { guard.defer_destroy(my) };
+        their
+    }
+
+    /// Helper path: try to match the installed `offer` with our value.
+    fn try_help(
+        &self,
+        cur: Shared<'_, OfferNode<T>>,
+        offer: &OfferNode<T>,
+        v: T,
+        guard: &Guard,
+    ) -> Result<T, T> {
+        let boxed = Box::into_raw(Box::new(v));
+        match offer
+            .resp
+            .compare_exchange(ptr::null_mut(), boxed, AcqRel, Acquire)
+        {
+            Ok(_) => {
+                // We won: both exchanges took effect at this CAS. Take the
+                // offered value (unique: only the resp winner reads it).
+                let their = unsafe { ptr::read(offer.give.as_ptr()) };
+                let _ = self
+                    .slot
+                    .compare_exchange(cur, Shared::null(), Relaxed, Relaxed, guard);
+                Ok(their)
+            }
+            Err(_) => {
+                // Offer already matched or withdrawn: recover our box.
+                let v = unsafe { *Box::from_raw(boxed) };
+                Err(v)
+            }
+        }
+    }
+}
+
+impl<T> Drop for Exchanger<T> {
+    fn drop(&mut self) {
+        // In quiescent use the slot is empty (the offerer always clears
+        // it before returning). If a node is still installed — e.g. an
+        // offering thread panicked — free the shell; the payload's state
+        // is unknowable, so it is leaked rather than double-dropped.
+        let guard = unsafe { epoch::unprotected() };
+        let cur = self.slot.load(Relaxed, guard);
+        if !cur.is_null() {
+            drop(unsafe { cur.into_owned() });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn lone_exchange_times_out_and_returns_value() {
+        let x: Exchanger<String> = Exchanger::new();
+        let v = "hello".to_string();
+        assert_eq!(x.exchange(v, 10), Err("hello".to_string()));
+    }
+
+    #[test]
+    fn pair_exchanges_values() {
+        let x: Exchanger<u64> = Exchanger::new();
+        let mut matched = 0u64;
+        for _ in 0..200 {
+            std::thread::scope(|scope| {
+                let a = scope.spawn(|| x.exchange(1, 10_000));
+                let b = scope.spawn(|| x.exchange(2, 10_000));
+                let (ra, rb) = (a.join().unwrap(), b.join().unwrap());
+                match (ra, rb) {
+                    (Ok(va), Ok(vb)) => {
+                        assert_eq!(va, 2);
+                        assert_eq!(vb, 1);
+                        matched += 1;
+                    }
+                    (Err(va), Err(vb)) => {
+                        assert_eq!(va, 1);
+                        assert_eq!(vb, 2);
+                    }
+                    (ra, rb) => panic!("half-matched exchange: {ra:?} {rb:?}"),
+                }
+            });
+        }
+        assert!(matched > 0, "some iterations should match");
+    }
+
+    #[test]
+    fn values_are_moved_not_copied() {
+        // Boxed payloads: a duplicated value would double-free under Miri
+        // and break the sum check here.
+        let x: Exchanger<Box<u64>> = Exchanger::new();
+        let total = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for i in 0..4u64 {
+                let x = &x;
+                let total = &total;
+                scope.spawn(move || {
+                    let mine = Box::new(i + 1);
+                    match x.exchange(mine, 5_000) {
+                        Ok(got) | Err(got) => {
+                            total.fetch_add(*got, Ordering::Relaxed);
+                        }
+                    }
+                });
+            }
+        });
+        // Every value 1..=4 is owned by exactly one thread at the end.
+        assert_eq!(total.load(Ordering::Relaxed), 1 + 2 + 3 + 4);
+    }
+
+    #[test]
+    fn many_threads_no_loss() {
+        let x: Exchanger<u64> = Exchanger::new();
+        let sum = AtomicU64::new(0);
+        std::thread::scope(|scope| {
+            for i in 0..8u64 {
+                let x = &x;
+                let sum = &sum;
+                scope.spawn(move || {
+                    let mut held = i;
+                    for _ in 0..100 {
+                        held = match x.exchange(held, 100) {
+                            Ok(got) => got,
+                            Err(back) => back,
+                        };
+                    }
+                    sum.fetch_add(held, Ordering::Relaxed);
+                });
+            }
+        });
+        // Exchanges permute the held values; the multiset sum is invariant.
+        assert_eq!(sum.load(Ordering::Relaxed), (0..8).sum::<u64>());
+    }
+}

@@ -1,0 +1,164 @@
+//! The bounded Herlihy-Wing queue on real atomics (§3.1–3.2): an
+//! acquire-release fetch-and-add reserves a slot, a release store fills
+//! it, and dequeuers scan with acquire loads and take elements with
+//! acquire CASes.
+
+use std::fmt;
+use std::ptr;
+use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
+use std::sync::atomic::{AtomicPtr, AtomicUsize};
+
+use crate::ConcurrentQueue;
+
+/// Sentinel pointer marking a slot whose element has been taken.
+fn taken<T>() -> *mut T {
+    1usize as *mut T
+}
+
+/// A bounded Herlihy-Wing queue (see module docs).
+///
+/// As in the original algorithm, the slot array is not recycled: a queue
+/// of capacity `n` accepts `n` enqueues in total.
+pub struct HwQueue<T> {
+    tail: AtomicUsize,
+    slots: Box<[AtomicPtr<T>]>,
+}
+
+impl<T> fmt::Debug for HwQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("HwQueue")
+            .field("capacity", &self.slots.len())
+            .finish()
+    }
+}
+
+impl<T> HwQueue<T> {
+    /// Creates a queue accepting up to `capacity` enqueues in total.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let slots: Vec<AtomicPtr<T>> = (0..capacity)
+            .map(|_| AtomicPtr::new(ptr::null_mut()))
+            .collect();
+        HwQueue {
+            tail: AtomicUsize::new(0),
+            slots: slots.into_boxed_slice(),
+        }
+    }
+
+    /// The total enqueue capacity.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Enqueues `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` if the queue's total capacity is exhausted.
+    pub fn try_push(&self, v: T) -> Result<(), T> {
+        // AcqRel FAA: the release half (with RMW release sequences) lets a
+        // dequeuer that acquire-reads the tail see every slot filled by
+        // enqueues that happen-before it — what FIFO needs (§3.1).
+        let t = self.tail.fetch_add(1, AcqRel);
+        if t >= self.slots.len() {
+            return Err(v);
+        }
+        let p = Box::into_raw(Box::new(v));
+        // Commit point: the release store of the element.
+        self.slots[t].store(p, Release);
+        Ok(())
+    }
+
+    /// Attempts one dequeue scan; `None` means the scan observed the queue
+    /// as empty.
+    pub fn try_pop(&self) -> Option<T> {
+        let n = self.tail.load(Acquire).min(self.slots.len());
+        for slot in &self.slots[..n] {
+            let p = slot.load(Acquire);
+            if p.is_null() || p == taken() {
+                continue;
+            }
+            // Acquire CAS, relaxed store half ("dequeues use acquire
+            // ones") — see the model twin for why a releasing TAKEN write
+            // would be wrong.
+            if slot
+                .compare_exchange(p, taken(), Acquire, Relaxed)
+                .is_ok()
+            {
+                return Some(unsafe { *Box::from_raw(p) });
+            }
+        }
+        None
+    }
+}
+
+impl<T> Drop for HwQueue<T> {
+    fn drop(&mut self) {
+        for slot in self.slots.iter() {
+            let p = slot.load(Relaxed);
+            if !p.is_null() && p != taken() {
+                drop(unsafe { Box::from_raw(p) });
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for HwQueue<T> {
+    fn enqueue(&self, v: T) {
+        self.try_push(v).unwrap_or_else(|_| {
+            panic!("HwQueue capacity {} exhausted", self.slots.len())
+        });
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        self.try_pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::queue_stress;
+
+    #[test]
+    fn fifo_order() {
+        let q = HwQueue::new(8);
+        assert_eq!(q.try_pop(), None);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_pop(), Some(1));
+        assert_eq!(q.try_pop(), Some(2));
+        assert_eq!(q.try_pop(), None);
+    }
+
+    #[test]
+    fn capacity_is_enforced() {
+        let q = HwQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(3));
+        assert_eq!(q.capacity(), 2);
+    }
+
+    #[test]
+    fn drop_releases_untaken_elements() {
+        let q = HwQueue::new(16);
+        for i in 0..10 {
+            q.try_push(Box::new(i)).unwrap();
+        }
+        q.try_pop().unwrap();
+        drop(q);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        let producers = 4u64;
+        let per_thread = 2000u64;
+        let q = HwQueue::new((producers * per_thread) as usize);
+        queue_stress(&q, producers, 2, per_thread);
+    }
+}

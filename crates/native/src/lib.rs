@@ -1,0 +1,199 @@
+//! # compass-native — the paper's data structures on real atomics
+//!
+//! Native (`std::sync::atomic`) implementations of the data structures the
+//! Compass paper verifies, using the *same access modes* as the paper's
+//! implementations:
+//!
+//! * [`TreiberStack`] — release push CAS, acquire pop CAS (§3.3), with
+//!   epoch-based reclamation;
+//! * [`MsQueue`] — release/acquire Michael-Scott queue (§3.2);
+//! * [`HwQueue`] — bounded Herlihy-Wing queue: acquire-release FAA on the
+//!   tail, release slot stores, acquire slot CASes (§3.1);
+//! * [`Exchanger`] — offer/response exchanger with helping (§4.2);
+//! * [`ElimStack`] — elimination stack = Treiber + an array of exchangers
+//!   (§4.1);
+//! * [`MutexStack`], [`MutexQueue`] — coarse-grained baselines for the
+//!   benchmarks.
+//!
+//! These are the benchmark subjects of the performance experiments
+//! (P1/P2/P3 in `DESIGN.md`); their model-level twins in
+//! `compass-structures` are the checked subjects.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod baseline;
+mod deque;
+mod exchanger;
+mod hwqueue;
+mod msqueue;
+mod spsc;
+mod stack;
+
+pub use baseline::{MutexQueue, MutexStack};
+pub use deque::{chase_lev, Steal, Stealer, Worker};
+pub use exchanger::Exchanger;
+pub use hwqueue::HwQueue;
+pub use msqueue::MsQueue;
+pub use spsc::{spsc_ring, Consumer, Producer};
+pub use stack::{ElimStack, TreiberStack};
+
+/// A thread-safe LIFO stack.
+pub trait ConcurrentStack<T>: Send + Sync {
+    /// Pushes a value.
+    fn push(&self, v: T);
+    /// Pops the most recent value, or `None` if the stack appears empty.
+    fn pop(&self) -> Option<T>;
+}
+
+/// A thread-safe FIFO queue.
+pub trait ConcurrentQueue<T>: Send + Sync {
+    /// Enqueues a value.
+    fn enqueue(&self, v: T);
+    /// Dequeues the oldest value, or `None` if the queue appears empty.
+    fn dequeue(&self) -> Option<T>;
+}
+
+#[cfg(test)]
+pub(crate) mod test_support {
+    use super::*;
+    use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicBool, Ordering};
+
+    /// Concurrent stress for stacks: producers push distinct values while
+    /// consumers drain; asserts nothing is lost or duplicated.
+    pub fn stack_stress<S: ConcurrentStack<u64>>(
+        s: &S,
+        producers: u64,
+        consumers: u64,
+        per_thread: u64,
+    ) {
+        let done = AtomicBool::new(false);
+        let popped: Vec<u64> = std::thread::scope(|scope| {
+            let consumer_handles: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let s = &s;
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match s.pop() {
+                                Some(v) => got.push(v),
+                                None => {
+                                    if done.load(Ordering::Acquire) {
+                                        // One final sweep after `done`.
+                                        while let Some(v) = s.pop() {
+                                            got.push(v);
+                                        }
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let producer_handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let s = &s;
+                    scope.spawn(move || {
+                        for i in 0..per_thread {
+                            s.push(p * per_thread + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in producer_handles {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            consumer_handles
+                .into_iter()
+                .flat_map(|h| h.join().unwrap())
+                .collect()
+        });
+        let expected = producers * per_thread;
+        assert_eq!(
+            popped.len() as u64,
+            expected,
+            "lost or duplicated elements"
+        );
+        let unique: BTreeSet<u64> = popped.iter().copied().collect();
+        assert_eq!(unique.len() as u64, expected, "duplicated element");
+    }
+
+    /// Concurrent stress for queues: same multiset check, plus per-producer
+    /// FIFO (values from one producer are dequeued in their enqueue order).
+    pub fn queue_stress<Q: ConcurrentQueue<u64>>(
+        q: &Q,
+        producers: u64,
+        consumers: u64,
+        per_thread: u64,
+    ) {
+        let done = AtomicBool::new(false);
+        let outs: Vec<Vec<u64>> = std::thread::scope(|scope| {
+            let consumer_handles: Vec<_> = (0..consumers)
+                .map(|_| {
+                    let q = &q;
+                    let done = &done;
+                    scope.spawn(move || {
+                        let mut got = Vec::new();
+                        loop {
+                            match q.dequeue() {
+                                Some(v) => got.push(v),
+                                None => {
+                                    if done.load(Ordering::Acquire) {
+                                        while let Some(v) = q.dequeue() {
+                                            got.push(v);
+                                        }
+                                        break;
+                                    }
+                                    std::hint::spin_loop();
+                                }
+                            }
+                        }
+                        got
+                    })
+                })
+                .collect();
+            let producer_handles: Vec<_> = (0..producers)
+                .map(|p| {
+                    let q = &q;
+                    scope.spawn(move || {
+                        for i in 0..per_thread {
+                            q.enqueue(p * per_thread + i);
+                        }
+                    })
+                })
+                .collect();
+            for h in producer_handles {
+                h.join().unwrap();
+            }
+            done.store(true, Ordering::Release);
+            consumer_handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        let total: usize = outs.iter().map(Vec::len).sum();
+        assert_eq!(total as u64, producers * per_thread, "lost elements");
+        let unique: BTreeSet<u64> = outs.iter().flatten().copied().collect();
+        assert_eq!(unique.len(), total, "duplicated element");
+        // Per-producer FIFO within each consumer's stream.
+        for got in &outs {
+            for p in 0..producers {
+                let seq: Vec<u64> = got
+                    .iter()
+                    .copied()
+                    .filter(|v| v / per_thread == p)
+                    .collect();
+                assert!(
+                    seq.windows(2).all(|w| w[0] < w[1]),
+                    "producer {p} out of order in a consumer stream"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! The Michael-Scott queue on real atomics, release/acquire throughout
+//! (the implementation the paper verifies against `LAT_hb^abs`, §3.2),
+//! with epoch-based reclamation.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+
+use crate::ConcurrentQueue;
+
+struct Node<T> {
+    /// Uninitialized in the sentinel; initialized in every linked node
+    /// until its value is dequeued.
+    data: MaybeUninit<T>,
+    next: Atomic<Node<T>>,
+}
+
+/// A Michael-Scott queue (see module docs).
+pub struct MsQueue<T> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+}
+
+impl<T> fmt::Debug for MsQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("MsQueue")
+    }
+}
+
+unsafe impl<T: Send> Send for MsQueue<T> {}
+unsafe impl<T: Send> Sync for MsQueue<T> {}
+
+impl<T> Default for MsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> MsQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let sentinel = Owned::new(Node {
+            data: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        let guard = unsafe { epoch::unprotected() };
+        let sentinel = sentinel.into_shared(guard);
+        MsQueue {
+            head: Atomic::from(sentinel),
+            tail: Atomic::from(sentinel),
+        }
+    }
+
+    /// Enqueues `v`. The commit point is the release CAS linking the node
+    /// (§3.2).
+    pub fn push(&self, v: T) {
+        let guard = &epoch::pin();
+        let mut node = Owned::new(Node {
+            data: MaybeUninit::new(v),
+            next: Atomic::null(),
+        });
+        loop {
+            let tail = self.tail.load(Acquire, guard);
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Acquire, guard);
+            if !next.is_null() {
+                // Tail lags: help swing it.
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Release, Relaxed, guard);
+                continue;
+            }
+            match tail_ref
+                .next
+                .compare_exchange(Shared::null(), node, Release, Relaxed, guard)
+            {
+                Ok(new) => {
+                    let _ = self
+                        .tail
+                        .compare_exchange(tail, new, Release, Relaxed, guard);
+                    return;
+                }
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Dequeues the oldest value. The commit point is the acquire-release
+    /// CAS swinging `head`.
+    pub fn pop(&self) -> Option<T> {
+        let guard = &epoch::pin();
+        loop {
+            let head = self.head.load(Acquire, guard);
+            let head_ref = unsafe { head.deref() };
+            let next = head_ref.next.load(Acquire, guard);
+            if next.is_null() {
+                return None;
+            }
+            if self
+                .head
+                .compare_exchange(head, next, Release, Acquire, guard)
+                .is_ok()
+            {
+                // `next` is the new sentinel; its data is ours.
+                let data = unsafe { std::ptr::read(next.deref().data.as_ptr()) };
+                unsafe { guard.defer_destroy(head) };
+                return Some(data);
+            }
+        }
+    }
+}
+
+impl<T> Drop for MsQueue<T> {
+    fn drop(&mut self) {
+        // Exclusive access: free every node; drop the data of all but the
+        // sentinel (whose data slot is empty).
+        let guard = unsafe { epoch::unprotected() };
+        let mut cur = self.head.load(Relaxed, guard);
+        let mut is_sentinel = true;
+        while !cur.is_null() {
+            let node = unsafe { cur.into_owned() };
+            let next = node.next.load(Relaxed, guard);
+            if !is_sentinel {
+                unsafe { std::ptr::drop_in_place(node.data.as_ptr() as *mut T) };
+            }
+            is_sentinel = false;
+            drop(node);
+            cur = next;
+        }
+    }
+}
+
+impl<T: Send> ConcurrentQueue<T> for MsQueue<T> {
+    fn enqueue(&self, v: T) {
+        self.push(v);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        self.pop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::queue_stress;
+
+    #[test]
+    fn fifo_order() {
+        let q = MsQueue::new();
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.push(4);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_remaining_elements() {
+        // Boxed values: Miri/leak checkers would catch a leak here.
+        let q = MsQueue::new();
+        for i in 0..100 {
+            q.push(Box::new(i));
+        }
+        for _ in 0..30 {
+            q.pop().unwrap();
+        }
+        drop(q);
+    }
+
+    #[test]
+    fn concurrent_stress() {
+        queue_stress(&MsQueue::new(), 4, 2, 2000);
+    }
+
+    #[test]
+    fn spsc_preserves_order() {
+        let q = MsQueue::new();
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                for i in 0..10_000u64 {
+                    q.push(i);
+                }
+            });
+            scope.spawn(move || {
+                let mut expect = 0u64;
+                while expect < 10_000 {
+                    if let Some(v) = q.pop() {
+                        assert_eq!(v, expect);
+                        expect += 1;
+                    } else {
+                        std::hint::spin_loop();
+                    }
+                }
+            });
+        });
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<MsQueue<u64>>();
+    }
+}

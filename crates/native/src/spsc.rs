@@ -1,0 +1,190 @@
+//! A bounded single-producer single-consumer ring buffer on real atomics
+//! (the Cosmo paper's verification subject, cited in §1): slots are plain
+//! memory, synchronized purely by the release/acquire handoff of the two
+//! counters.
+
+use std::cell::UnsafeCell;
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+use std::sync::atomic::AtomicUsize;
+use std::sync::Arc;
+
+use crossbeam_utils::{Backoff, CachePadded};
+
+struct Inner<T> {
+    head: CachePadded<AtomicUsize>,
+    tail: CachePadded<AtomicUsize>,
+    buf: Box<[UnsafeCell<MaybeUninit<T>>]>,
+}
+
+unsafe impl<T: Send> Send for Inner<T> {}
+unsafe impl<T: Send> Sync for Inner<T> {}
+
+/// The producing half of an SPSC ring (not `Clone`: single producer).
+pub struct Producer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+/// The consuming half of an SPSC ring (not `Clone`: single consumer).
+pub struct Consumer<T> {
+    inner: Arc<Inner<T>>,
+}
+
+impl<T> fmt::Debug for Producer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("spsc::Producer")
+            .field("capacity", &self.inner.buf.len())
+            .finish()
+    }
+}
+
+impl<T> fmt::Debug for Consumer<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("spsc::Consumer")
+    }
+}
+
+/// Creates a bounded SPSC ring of the given capacity.
+///
+/// # Panics
+///
+/// Panics if `capacity` is zero.
+pub fn spsc_ring<T: Send>(capacity: usize) -> (Producer<T>, Consumer<T>) {
+    assert!(capacity > 0, "capacity must be positive");
+    let inner = Arc::new(Inner {
+        head: CachePadded::new(AtomicUsize::new(0)),
+        tail: CachePadded::new(AtomicUsize::new(0)),
+        buf: (0..capacity)
+            .map(|_| UnsafeCell::new(MaybeUninit::uninit()))
+            .collect(),
+    });
+    (
+        Producer {
+            inner: inner.clone(),
+        },
+        Consumer { inner },
+    )
+}
+
+impl<T: Send> Producer<T> {
+    /// Tries to enqueue `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` if the ring is full.
+    pub fn try_push(&self, v: T) -> Result<(), T> {
+        let q = &*self.inner;
+        let t = q.tail.load(Relaxed);
+        // Acquire: see the consumer's head advance (and its last read of
+        // the slot) before reusing the slot.
+        let h = q.head.load(Acquire);
+        if t - h == q.buf.len() {
+            return Err(v);
+        }
+        unsafe { (*q.buf[t % q.buf.len()].get()).write(v) };
+        // Publication.
+        q.tail.store(t + 1, Release);
+        Ok(())
+    }
+
+    /// Pushes, backing off (spin, then yield) while the ring is full.
+    pub fn push(&self, v: T) {
+        let mut v = v;
+        let backoff = Backoff::new();
+        loop {
+            match self.try_push(v) {
+                Ok(()) => return,
+                Err(back) => {
+                    v = back;
+                    backoff.snooze();
+                }
+            }
+        }
+    }
+}
+
+impl<T: Send> Consumer<T> {
+    /// Tries to dequeue.
+    pub fn try_pop(&self) -> Option<T> {
+        let q = &*self.inner;
+        let h = q.head.load(Relaxed);
+        // Acquire: see the producer's slot write.
+        let t = q.tail.load(Acquire);
+        if t == h {
+            return None;
+        }
+        let v = unsafe { (*q.buf[h % q.buf.len()].get()).assume_init_read() };
+        q.head.store(h + 1, Release);
+        Some(v)
+    }
+
+    /// Pops, backing off (spin, then yield) while the ring is empty.
+    pub fn pop(&self) -> T {
+        let backoff = Backoff::new();
+        loop {
+            if let Some(v) = self.try_pop() {
+                return v;
+            }
+            backoff.snooze();
+        }
+    }
+}
+
+impl<T> Drop for Inner<T> {
+    fn drop(&mut self) {
+        let h = *self.head.get_mut();
+        let t = *self.tail.get_mut();
+        for i in h..t {
+            unsafe { (*self.buf[i % self.buf.len()].get()).assume_init_drop() };
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_and_capacity() {
+        let (p, c) = spsc_ring::<i32>(2);
+        assert_eq!(c.try_pop(), None);
+        p.try_push(1).unwrap();
+        p.try_push(2).unwrap();
+        assert_eq!(p.try_push(3), Err(3));
+        assert_eq!(c.try_pop(), Some(1));
+        p.try_push(3).unwrap();
+        assert_eq!(c.try_pop(), Some(2));
+        assert_eq!(c.try_pop(), Some(3));
+        assert_eq!(c.try_pop(), None);
+    }
+
+    #[test]
+    fn drop_releases_in_flight_elements() {
+        let (p, c) = spsc_ring(8);
+        for i in 0..6 {
+            p.try_push(Box::new(i)).unwrap();
+        }
+        c.try_pop().unwrap();
+        drop((p, c));
+    }
+
+    #[test]
+    fn cross_thread_order_preserved() {
+        const N: u64 = 50_000;
+        let (p, c) = spsc_ring::<u64>(64);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    p.push(i);
+                }
+            });
+            scope.spawn(move || {
+                for expect in 0..N {
+                    assert_eq!(c.pop(), expect, "FIFO violated");
+                }
+                assert_eq!(c.try_pop(), None);
+            });
+        });
+    }
+}

@@ -1,0 +1,313 @@
+//! Treiber stack and elimination stack on real atomics.
+//!
+//! The Treiber stack uses release push CASes and acquire pop CASes
+//! (§3.3). The elimination stack (§4.1) composes it with an array of
+//! [`Exchanger`]s: an operation that loses its head CAS backs off into an
+//! exchange, where a push offer meeting a pop offer eliminates both.
+//! Same-sided matches (push/push or pop/pop) simply swap payloads and
+//! retry, which preserves the multiset of elements because values are
+//! moved, never copied.
+
+use std::fmt;
+use std::mem::MaybeUninit;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+use crossbeam_epoch::{self as epoch, Atomic, Owned};
+
+use crate::exchanger::Exchanger;
+use crate::ConcurrentStack;
+
+struct Node<T> {
+    data: MaybeUninit<T>,
+    next: Atomic<Node<T>>,
+}
+
+/// A Treiber stack (see module docs).
+pub struct TreiberStack<T> {
+    head: Atomic<Node<T>>,
+}
+
+impl<T> fmt::Debug for TreiberStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("TreiberStack")
+    }
+}
+
+unsafe impl<T: Send> Send for TreiberStack<T> {}
+unsafe impl<T: Send> Sync for TreiberStack<T> {}
+
+impl<T> Default for TreiberStack<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> TreiberStack<T> {
+    /// Creates an empty stack.
+    pub fn new() -> Self {
+        TreiberStack {
+            head: Atomic::null(),
+        }
+    }
+
+    /// One push attempt; `Err` returns the node for reuse.
+    fn try_push_node(&self, node: Owned<Node<T>>) -> Result<(), Owned<Node<T>>> {
+        let guard = &epoch::pin();
+        let head = self.head.load(Relaxed, guard);
+        node.next.store(head, Relaxed);
+        match self
+            .head
+            .compare_exchange(head, node, Release, Relaxed, guard)
+        {
+            Ok(_) => Ok(()),
+            Err(e) => Err(e.new),
+        }
+    }
+
+    /// Pushes `v` (retrying until the release CAS succeeds).
+    pub fn push(&self, v: T) {
+        let mut node = Owned::new(Node {
+            data: MaybeUninit::new(v),
+            next: Atomic::null(),
+        });
+        loop {
+            match self.try_push_node(node) {
+                Ok(()) => return,
+                Err(n) => node = n,
+            }
+        }
+    }
+
+    /// One pop attempt: `Ok(Some)` popped, `Ok(None)` empty, `Err(())`
+    /// lost the race.
+    fn try_pop(&self) -> Result<Option<T>, ()> {
+        let guard = &epoch::pin();
+        let head = self.head.load(Acquire, guard);
+        let Some(head_ref) = (unsafe { head.as_ref() }) else {
+            return Ok(None);
+        };
+        let next = head_ref.next.load(Relaxed, guard);
+        if self
+            .head
+            .compare_exchange(head, next, Acquire, Relaxed, guard)
+            .is_ok()
+        {
+            let data = unsafe { std::ptr::read(head_ref.data.as_ptr()) };
+            unsafe { guard.defer_destroy(head) };
+            Ok(Some(data))
+        } else {
+            Err(())
+        }
+    }
+
+    /// Pops the top value (retrying on contention).
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            if let Ok(r) = self.try_pop() {
+                return r;
+            }
+        }
+    }
+}
+
+impl<T> Drop for TreiberStack<T> {
+    fn drop(&mut self) {
+        let guard = unsafe { epoch::unprotected() };
+        let mut cur = self.head.load(Relaxed, guard);
+        while !cur.is_null() {
+            let node = unsafe { cur.into_owned() };
+            let next = node.next.load(Relaxed, guard);
+            unsafe { std::ptr::drop_in_place(node.data.as_ptr() as *mut T) };
+            drop(node);
+            cur = next;
+        }
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for TreiberStack<T> {
+    fn push(&self, v: T) {
+        TreiberStack::push(self, v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        TreiberStack::pop(self)
+    }
+}
+
+/// The exchange payload of the elimination layer.
+enum Offer<T> {
+    Push(T),
+    Pop,
+}
+
+/// An elimination stack (see module docs): a [`TreiberStack`] whose
+/// operations back off into an array of [`Exchanger`]s under contention.
+pub struct ElimStack<T> {
+    base: TreiberStack<T>,
+    slots: Box<[Exchanger<Offer<T>>]>,
+    /// Spin budget an offer waits in the exchanger.
+    patience: u32,
+}
+
+impl<T> fmt::Debug for ElimStack<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ElimStack")
+            .field("slots", &self.slots.len())
+            .field("patience", &self.patience)
+            .finish()
+    }
+}
+
+impl<T: Send> Default for ElimStack<T> {
+    fn default() -> Self {
+        Self::new(4, 64)
+    }
+}
+
+impl<T: Send> ElimStack<T> {
+    /// Creates an elimination stack with `slots` exchangers and the given
+    /// spin `patience`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots` is zero.
+    pub fn new(slots: usize, patience: u32) -> Self {
+        assert!(slots > 0, "need at least one elimination slot");
+        ElimStack {
+            base: TreiberStack::new(),
+            slots: (0..slots).map(|_| Exchanger::new()).collect(),
+            patience,
+        }
+    }
+
+    fn slot(&self) -> &Exchanger<Offer<T>> {
+        // Cheap per-thread slot choice.
+        let tid = std::thread::current().id();
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        use std::hash::{Hash, Hasher};
+        tid.hash(&mut h);
+        &self.slots[(h.finish() as usize) % self.slots.len()]
+    }
+
+    /// Pushes `v`: base stack first, elimination on contention.
+    pub fn push(&self, v: T) {
+        let mut node = Owned::new(Node {
+            data: MaybeUninit::new(v),
+            next: Atomic::null(),
+        });
+        loop {
+            node = match self.base.try_push_node(node) {
+                Ok(()) => return,
+                Err(n) => n,
+            };
+            // Back off into elimination.
+            let v = unsafe { std::ptr::read(node.data.as_ptr()) };
+            match self.slot().exchange(Offer::Push(v), self.patience) {
+                Ok(Offer::Pop) => {
+                    // Eliminated: a popper took our value (it reads it from
+                    // the offer we handed over).
+                    return;
+                }
+                Ok(Offer::Push(w)) => {
+                    // Push/push match: we now own the partner's value; it
+                    // owns ours. Keep pushing what we hold.
+                    node.data = MaybeUninit::new(w);
+                }
+                Err(v) => {
+                    node.data = MaybeUninit::new(match v {
+                        Offer::Push(v) => v,
+                        Offer::Pop => unreachable!("we offered a push"),
+                    });
+                }
+            }
+        }
+    }
+
+    /// Pops the top value: base stack first, elimination on contention.
+    pub fn pop(&self) -> Option<T> {
+        loop {
+            match self.base.try_pop() {
+                Ok(r) => return r,
+                Err(()) => {}
+            }
+            match self.slot().exchange(Offer::Pop, self.patience) {
+                Ok(Offer::Push(v)) => return Some(v),
+                Ok(Offer::Pop) | Err(_) => {}
+            }
+        }
+    }
+}
+
+impl<T: Send> ConcurrentStack<T> for ElimStack<T> {
+    fn push(&self, v: T) {
+        ElimStack::push(self, v);
+    }
+
+    fn pop(&self) -> Option<T> {
+        ElimStack::pop(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_support::stack_stress;
+
+    #[test]
+    fn treiber_lifo() {
+        let s = TreiberStack::new();
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn treiber_drop_releases_elements() {
+        let s = TreiberStack::new();
+        for i in 0..100 {
+            s.push(Box::new(i));
+        }
+        s.pop().unwrap();
+        drop(s);
+    }
+
+    #[test]
+    fn treiber_stress() {
+        stack_stress(&TreiberStack::new(), 4, 2, 2000);
+    }
+
+    #[test]
+    fn elim_lifo() {
+        let s: ElimStack<i32> = ElimStack::new(2, 16);
+        assert_eq!(s.pop(), None);
+        s.push(1);
+        s.push(2);
+        assert_eq!(s.pop(), Some(2));
+        assert_eq!(s.pop(), Some(1));
+        assert_eq!(s.pop(), None);
+    }
+
+    #[test]
+    fn elim_stress() {
+        stack_stress(&ElimStack::new(4, 32), 4, 4, 2000);
+    }
+
+    #[test]
+    fn elim_drop_releases_elements() {
+        let s = ElimStack::new(2, 8);
+        for i in 0..50 {
+            s.push(Box::new(i));
+        }
+        drop(s);
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<X: Send + Sync>() {}
+        assert_send_sync::<TreiberStack<u64>>();
+        assert_send_sync::<ElimStack<u64>>();
+    }
+}

@@ -1,0 +1,119 @@
+//! Property-based oracle tests: each native structure, driven
+//! sequentially by random operation sequences, behaves exactly like its
+//! std-collection oracle.
+
+use std::collections::VecDeque;
+
+use proptest::prelude::*;
+
+use compass_native::{
+    chase_lev, spsc_ring, ElimStack, HwQueue, MsQueue, MutexQueue, MutexStack, Steal,
+    TreiberStack,
+};
+use compass_native::{ConcurrentQueue, ConcurrentStack};
+
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Insert(i64),
+    Remove,
+}
+
+fn ops() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![(0i64..100).prop_map(Op::Insert), Just(Op::Remove)],
+        0..60,
+    )
+}
+
+proptest! {
+    #[test]
+    fn stacks_match_vec_oracle(ops in ops()) {
+        let treiber = TreiberStack::new();
+        let elim = ElimStack::new(2, 4);
+        let mutex = MutexStack::new();
+        let mut oracle: Vec<i64> = Vec::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    ConcurrentStack::push(&treiber, v);
+                    ConcurrentStack::push(&elim, v);
+                    ConcurrentStack::push(&mutex, v);
+                    oracle.push(v);
+                }
+                Op::Remove => {
+                    let expect = oracle.pop();
+                    prop_assert_eq!(ConcurrentStack::pop(&treiber), expect);
+                    prop_assert_eq!(ConcurrentStack::pop(&elim), expect);
+                    prop_assert_eq!(ConcurrentStack::pop(&mutex), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn queues_match_deque_oracle(ops in ops()) {
+        let ms = MsQueue::new();
+        let hw = HwQueue::new(64);
+        let mutex = MutexQueue::new();
+        let mut oracle: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    ConcurrentQueue::enqueue(&ms, v);
+                    ConcurrentQueue::enqueue(&hw, v);
+                    ConcurrentQueue::enqueue(&mutex, v);
+                    oracle.push_back(v);
+                }
+                Op::Remove => {
+                    let expect = oracle.pop_front();
+                    prop_assert_eq!(ConcurrentQueue::dequeue(&ms), expect);
+                    prop_assert_eq!(ConcurrentQueue::dequeue(&hw), expect);
+                    prop_assert_eq!(ConcurrentQueue::dequeue(&mutex), expect);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn deque_matches_owner_oracle(ops in ops()) {
+        // Sequential owner use: the deque behaves as a LIFO for the owner.
+        let (worker, stealer) = chase_lev::<i64>(128);
+        let mut oracle: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    worker.push(v);
+                    oracle.push_back(v);
+                }
+                Op::Remove => {
+                    prop_assert_eq!(worker.pop(), oracle.pop_back());
+                }
+            }
+        }
+        // Drain the rest from the top via the stealer: FIFO.
+        while let Some(expect) = oracle.pop_front() {
+            match stealer.steal() {
+                Steal::Stolen(v) => prop_assert_eq!(v, expect),
+                other => prop_assert!(false, "unexpected {:?}", other),
+            }
+        }
+        prop_assert_eq!(stealer.steal(), Steal::Empty);
+    }
+
+    #[test]
+    fn spsc_ring_matches_oracle(ops in ops()) {
+        let (p, c) = spsc_ring::<i64>(128);
+        let mut oracle: VecDeque<i64> = VecDeque::new();
+        for op in ops {
+            match op {
+                Op::Insert(v) => {
+                    p.try_push(v).unwrap();
+                    oracle.push_back(v);
+                }
+                Op::Remove => {
+                    prop_assert_eq!(c.try_pop(), oracle.pop_front());
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Vector clocks used for non-atomic data-race detection.
+
+use std::fmt;
+
+use crate::val::ThreadId;
+
+/// A vector clock: one logical clock per simulated thread.
+///
+/// Vector clocks ride along with the physical views on every message and
+/// thread frontier, with exactly the same transfer rules. They are used by
+/// the memory to decide whether two conflicting accesses are ordered by
+/// happens-before (FastTrack-style epoch checks), so that races on
+/// non-atomic accesses can be reported — the operational stand-in for RC11's
+/// catch-fire semantics.
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct VecClock {
+    clocks: Vec<u64>,
+}
+
+impl VecClock {
+    /// The zero clock.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The clock component for `tid` (0 if never ticked/joined).
+    pub fn get(&self, tid: ThreadId) -> u64 {
+        self.clocks.get(tid).copied().unwrap_or(0)
+    }
+
+    /// Sets the component for `tid` to at least `c`.
+    pub fn bump(&mut self, tid: ThreadId, c: u64) {
+        if self.clocks.len() <= tid {
+            self.clocks.resize(tid + 1, 0);
+        }
+        self.clocks[tid] = self.clocks[tid].max(c);
+    }
+
+    /// Increments the component for `tid` and returns the new value.
+    pub fn tick(&mut self, tid: ThreadId) -> u64 {
+        if self.clocks.len() <= tid {
+            self.clocks.resize(tid + 1, 0);
+        }
+        self.clocks[tid] += 1;
+        self.clocks[tid]
+    }
+
+    /// Pointwise join with `other`.
+    pub fn join(&mut self, other: &VecClock) {
+        if self.clocks.len() < other.clocks.len() {
+            self.clocks.resize(other.clocks.len(), 0);
+        }
+        for (s, &o) in self.clocks.iter_mut().zip(&other.clocks) {
+            *s = (*s).max(o);
+        }
+    }
+
+    /// Pointwise comparison: `self ⊑ other`.
+    pub fn leq(&self, other: &VecClock) -> bool {
+        self.clocks
+            .iter()
+            .enumerate()
+            .all(|(t, &c)| c <= other.get(t))
+    }
+}
+
+impl fmt::Debug for VecClock {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "VC{:?}", self.clocks)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tick_advances_only_own_component() {
+        let mut vc = VecClock::new();
+        assert_eq!(vc.tick(2), 1);
+        assert_eq!(vc.tick(2), 2);
+        assert_eq!(vc.get(2), 2);
+        assert_eq!(vc.get(0), 0);
+        assert_eq!(vc.get(99), 0);
+    }
+
+    #[test]
+    fn join_is_pointwise_max() {
+        let mut a = VecClock::new();
+        a.bump(0, 3);
+        let mut b = VecClock::new();
+        b.bump(1, 2);
+        b.bump(0, 1);
+        a.join(&b);
+        assert_eq!(a.get(0), 3);
+        assert_eq!(a.get(1), 2);
+    }
+
+    #[test]
+    fn leq_detects_concurrency() {
+        let mut a = VecClock::new();
+        a.tick(0);
+        let mut b = VecClock::new();
+        b.tick(1);
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j) && b.leq(&j));
+    }
+
+    #[test]
+    fn zero_clock_is_bottom() {
+        let z = VecClock::new();
+        let mut a = VecClock::new();
+        a.tick(5);
+        assert!(z.leq(&a));
+        assert!(z.leq(&z));
+    }
+}

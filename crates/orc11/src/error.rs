@@ -1,0 +1,112 @@
+//! Errors reported by model executions.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::val::{Loc, ThreadId};
+
+/// Details of a detected data race.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RaceInfo {
+    /// The location the race is on.
+    pub loc: Loc,
+    /// Human-readable name of the location (from allocation).
+    pub loc_name: String,
+    /// The thread performing the current (second) access.
+    pub current_thread: ThreadId,
+    /// Whether the current access is a write.
+    pub current_is_write: bool,
+    /// Whether the current access is atomic.
+    pub current_atomic: bool,
+    /// The thread that performed the earlier, unordered access.
+    pub other_thread: ThreadId,
+    /// Whether the earlier access was a write.
+    pub other_is_write: bool,
+    /// Whether the earlier access was atomic.
+    pub other_atomic: bool,
+}
+
+impl fmt::Display for RaceInfo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let kind = |w: bool, a: bool| match (w, a) {
+            (true, true) => "atomic write",
+            (true, false) => "non-atomic write",
+            (false, true) => "atomic read",
+            (false, false) => "non-atomic read",
+        };
+        write!(
+            f,
+            "data race on {} ({}): {} by thread {} unordered with {} by thread {}",
+            self.loc_name,
+            self.loc,
+            kind(self.current_is_write, self.current_atomic),
+            self.current_thread,
+            kind(self.other_is_write, self.other_atomic),
+            self.other_thread,
+        )
+    }
+}
+
+/// Why a model execution did not complete normally.
+#[derive(Clone, Debug)]
+pub enum ModelError {
+    /// A data race between accesses where at least one is non-atomic
+    /// (undefined behaviour under RC11; the model aborts the execution).
+    Race(RaceInfo),
+    /// The execution exceeded the configured step budget (livelock guard).
+    StepLimit(u64),
+    /// All live threads are blocked in [`crate::ThreadCtx::read_await`]
+    /// with no satisfying message.
+    Deadlock,
+    /// A simulated thread panicked (assertion failure in the program or a
+    /// bug in the simulated implementation). Contains the panic message.
+    ThreadPanic(String),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Race(r) => write!(f, "{r}"),
+            ModelError::StepLimit(n) => write!(f, "execution exceeded step limit of {n}"),
+            ModelError::Deadlock => write!(f, "deadlock: all live threads blocked in read_await"),
+            ModelError::ThreadPanic(m) => write!(f, "simulated thread panicked: {m}"),
+        }
+    }
+}
+
+impl Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn race_display_mentions_threads_and_loc() {
+        let r = RaceInfo {
+            loc: Loc::from_raw(3),
+            loc_name: "data".into(),
+            current_thread: 2,
+            current_is_write: true,
+            current_atomic: false,
+            other_thread: 1,
+            other_is_write: false,
+            other_atomic: false,
+        };
+        let s = r.to_string();
+        assert!(s.contains("data"));
+        assert!(s.contains("thread 2"));
+        assert!(s.contains("thread 1"));
+        assert!(s.contains("non-atomic write"));
+    }
+
+    #[test]
+    fn error_display_nonempty() {
+        for e in [
+            ModelError::StepLimit(10),
+            ModelError::Deadlock,
+            ModelError::ThreadPanic("boom".into()),
+        ] {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,310 @@
+//! Drivers for exploring a program's executions.
+//!
+//! Stateless model checking: a program is re-run many times, each time with
+//! a different [`Strategy`]. [`Explorer::random`] samples interleavings
+//! with seeded random strategies; [`Explorer::dfs`] enumerates the decision
+//! tree exhaustively (bounded by an execution budget) by backtracking over
+//! recorded choice traces.
+
+use std::fmt;
+
+use crate::error::ModelError;
+use crate::exec::RunOutcome;
+use crate::sched::{dfs_strategy, random_strategy, Strategy};
+
+/// Aggregated result of an exploration.
+#[derive(Debug, Default)]
+pub struct ExploreReport {
+    /// Executions performed.
+    pub execs: u64,
+    /// Executions that completed without a model error.
+    pub ok: u64,
+    /// Model errors encountered, with the execution index (random: the
+    /// seed; dfs: the sequence number). At most 16 are kept.
+    pub errors: Vec<(u64, ModelError)>,
+    /// Total number of errors (may exceed `errors.len()`).
+    pub error_count: u64,
+    /// For DFS: whether the decision tree was fully explored within the
+    /// execution budget.
+    pub exhausted: bool,
+    /// Total model steps across all executions.
+    pub total_steps: u64,
+}
+
+impl ExploreReport {
+    fn record<R>(&mut self, id: u64, out: &RunOutcome<R>) {
+        self.execs += 1;
+        self.total_steps += out.steps;
+        match &out.result {
+            Ok(_) => self.ok += 1,
+            Err(e) => {
+                self.error_count += 1;
+                if self.errors.len() < 16 {
+                    self.errors.push((id, e.clone()));
+                }
+            }
+        }
+    }
+
+    /// Panics with a readable message if any execution errored.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `error_count > 0`.
+    pub fn assert_all_ok(&self) {
+        assert!(
+            self.error_count == 0,
+            "{} of {} executions failed; first errors: {:#?}",
+            self.error_count,
+            self.execs,
+            self.errors
+        );
+    }
+}
+
+impl fmt::Display for ExploreReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executions, {} ok, {} errors{}, {} total steps",
+            self.execs,
+            self.ok,
+            self.error_count,
+            if self.exhausted { " (exhaustive)" } else { "" },
+            self.total_steps
+        )
+    }
+}
+
+/// Exploration driver.
+///
+/// The program is supplied as a closure from a strategy to a
+/// [`RunOutcome`], typically wrapping [`crate::run_model`]:
+///
+/// ```
+/// use orc11::{Config, Explorer, Mode, ThreadCtx, Val};
+///
+/// let explorer = Explorer::default();
+/// let report = explorer.random(200, 0, |strategy| {
+///     orc11::run_model(
+///         &Config::default(),
+///         strategy,
+///         |ctx| ctx.alloc("x", Val::Int(0)),
+///         vec![Box::new(|ctx: &mut ThreadCtx, &x: &orc11::Loc| {
+///             ctx.fetch_add(x, 1, Mode::Relaxed);
+///         })],
+///         |ctx, &x, _| assert_eq!(ctx.peek(x), Val::Int(1)),
+///     )
+/// }, |_, _| {});
+/// report.assert_all_ok();
+/// ```
+#[derive(Debug, Default)]
+pub struct Explorer;
+
+impl Explorer {
+    /// Runs `iters` executions with random strategies seeded
+    /// `seed0..seed0+iters`, feeding every outcome to `on`.
+    pub fn random<R>(
+        &self,
+        iters: u64,
+        seed0: u64,
+        mut run: impl FnMut(Box<dyn Strategy>) -> RunOutcome<R>,
+        mut on: impl FnMut(u64, &RunOutcome<R>),
+    ) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        for i in 0..iters {
+            let seed = seed0 + i;
+            let out = run(random_strategy(seed));
+            report.record(seed, &out);
+            on(seed, &out);
+        }
+        report
+    }
+
+    /// Runs `iters` PCT executions (priority scheduling with `depth`
+    /// change points, seeds `seed0..seed0+iters`) — typically an order of
+    /// magnitude better than [`Explorer::random`] at exposing small-depth
+    /// ordering bugs.
+    pub fn pct<R>(
+        &self,
+        iters: u64,
+        seed0: u64,
+        depth: usize,
+        mut run: impl FnMut(Box<dyn Strategy>) -> RunOutcome<R>,
+        mut on: impl FnMut(u64, &RunOutcome<R>),
+    ) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        for i in 0..iters {
+            let seed = seed0 + i;
+            let out = run(crate::sched::pct_strategy(seed, depth, 64));
+            report.record(seed, &out);
+            on(seed, &out);
+        }
+        report
+    }
+
+    /// Exhaustively enumerates the program's decision tree, up to
+    /// `max_execs` executions.
+    ///
+    /// If the budget suffices, `exhausted` is set in the report and every
+    /// execution (under the model's scheduler granularity) has been
+    /// visited. Programs must be deterministic apart from the strategy's
+    /// decisions.
+    pub fn dfs<R>(
+        &self,
+        max_execs: u64,
+        mut run: impl FnMut(Box<dyn Strategy>) -> RunOutcome<R>,
+        mut on: impl FnMut(u64, &RunOutcome<R>),
+    ) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        let mut prefix: Vec<u32> = Vec::new();
+        let mut n = 0u64;
+        loop {
+            if n >= max_execs {
+                return report;
+            }
+            let out = run(dfs_strategy(prefix.clone()));
+            report.record(n, &out);
+            on(n, &out);
+            n += 1;
+            // Backtrack: bump the deepest choice with an unexplored
+            // alternative; drop everything after it.
+            let mut trace: Vec<(u32, u32)> =
+                out.trace.iter().map(|c| (c.chosen, c.arity)).collect();
+            loop {
+                match trace.pop() {
+                    None => {
+                        report.exhausted = true;
+                        return report;
+                    }
+                    Some((chosen, arity)) => {
+                        if chosen + 1 < arity {
+                            trace.push((chosen + 1, arity));
+                            prefix = trace.iter().map(|&(c, _)| c).collect();
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::{run_model, BodyFn, Config, ThreadCtx};
+    use crate::mode::Mode;
+    use crate::val::{Loc, Val};
+    use std::collections::BTreeSet;
+
+    /// Store buffering: both threads can read 0 — and DFS must find all
+    /// four outcomes.
+    fn sb(strategy: Box<dyn Strategy>) -> RunOutcome<(i64, i64)> {
+        run_model(
+            &Config::default(),
+            strategy,
+            |ctx| {
+                (
+                    ctx.alloc("x", Val::Int(0)),
+                    ctx.alloc("y", Val::Int(0)),
+                )
+            },
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
+                    ctx.write(x, Val::Int(1), Mode::Relaxed);
+                    ctx.read(y, Mode::Relaxed).expect_int()
+                }) as BodyFn<'_, _, _>,
+                Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
+                    ctx.write(y, Val::Int(1), Mode::Relaxed);
+                    ctx.read(x, Mode::Relaxed).expect_int()
+                }),
+            ],
+            |_, _, outs| (outs[0], outs[1]),
+        )
+    }
+
+    #[test]
+    fn dfs_finds_all_sb_outcomes() {
+        let mut outcomes = BTreeSet::new();
+        let report = Explorer.dfs(
+            10_000,
+            sb,
+            |_, out| {
+                outcomes.insert(*out.result.as_ref().unwrap());
+            },
+        );
+        assert!(report.exhausted, "SB should be fully explorable");
+        report.assert_all_ok();
+        // All four combinations, including the weak (0,0).
+        assert_eq!(
+            outcomes,
+            BTreeSet::from([(0, 0), (0, 1), (1, 0), (1, 1)])
+        );
+    }
+
+    #[test]
+    fn pct_finds_weak_sb_outcome() {
+        let mut weak = 0u64;
+        let report = Explorer.pct(300, 0, 2, sb, |_, out| {
+            if *out.result.as_ref().unwrap() == (0, 0) {
+                weak += 1;
+            }
+        });
+        report.assert_all_ok();
+        assert_eq!(report.execs, 300);
+        assert!(weak > 0, "weak SB outcome should appear under PCT too");
+    }
+
+    #[test]
+    fn random_finds_weak_sb_outcome() {
+        let mut weak = 0u64;
+        let report = Explorer.random(300, 0, sb, |_, out| {
+            if *out.result.as_ref().unwrap() == (0, 0) {
+                weak += 1;
+            }
+        });
+        report.assert_all_ok();
+        assert!(weak > 0, "weak SB outcome should appear under random search");
+    }
+
+    #[test]
+    fn dfs_reports_errors_without_stopping() {
+        // Races in SOME interleavings: the non-atomic read of x is safe
+        // only when the acquire read observed the release of the gate.
+        let run = |strategy: Box<dyn Strategy>| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| {
+                    (
+                        ctx.alloc("x", Val::Int(0)),
+                        ctx.alloc("gate", Val::Int(0)),
+                    )
+                },
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
+                        ctx.write(x, Val::Int(1), Mode::NonAtomic);
+                        ctx.write(gate, Val::Int(1), Mode::Release);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
+                        ctx.read(gate, Mode::Acquire);
+                        // Unconditional non-atomic read: a race exactly in
+                        // the interleavings where the gate read saw 0 (or
+                        // the writer has not finished).
+                        ctx.read(x, Mode::NonAtomic);
+                    }),
+                ],
+                |_, _, _| (),
+            )
+        };
+        let report = Explorer.dfs(10_000, run, |_, _| {});
+        assert!(report.exhausted, "exploration keeps going past errors");
+        assert!(report.error_count > 0, "some interleavings race");
+        assert!(report.ok > 0, "some interleavings are race-free");
+        assert!(report
+            .errors
+            .iter()
+            .all(|(_, e)| matches!(e, crate::ModelError::Race(_))));
+    }
+}

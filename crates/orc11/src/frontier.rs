@@ -1,0 +1,76 @@
+//! Frontiers: the bundled lattice transferred by synchronization.
+
+use crate::clock::VecClock;
+use crate::ghost::GhostView;
+use crate::view::View;
+
+/// A *frontier* bundles everything that flows along synchronization edges:
+///
+/// * the physical [`View`] (per-location timestamps),
+/// * the [`VecClock`] used for data-race detection, and
+/// * the [`GhostView`] of logical views.
+///
+/// All three are join-semilattices, and all three are transferred with the
+/// same rules (release publishes, acquire joins), so bundling them keeps the
+/// transfer code in one place and guarantees the ghost lattice is a faithful
+/// mirror of happens-before.
+#[derive(Clone, Default, Debug, PartialEq, Eq)]
+pub struct Frontier {
+    /// Physical view.
+    pub view: View,
+    /// Race-detection vector clock.
+    pub vc: VecClock,
+    /// Ghost logical views.
+    pub ghost: GhostView,
+}
+
+impl Frontier {
+    /// The empty frontier.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Joins `other` into `self` (component-wise least upper bound).
+    pub fn join(&mut self, other: &Frontier) {
+        self.view.join(&other.view);
+        self.vc.join(&other.vc);
+        self.ghost.join(&other.ghost);
+    }
+
+    /// Component-wise inclusion.
+    pub fn leq(&self, other: &Frontier) -> bool {
+        self.view.leq(&other.view) && self.vc.leq(&other.vc) && self.ghost.leq(&other.ghost)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::val::Loc;
+
+    #[test]
+    fn join_joins_all_components() {
+        let mut a = Frontier::new();
+        a.view.bump(Loc::from_raw(0), 1);
+        a.vc.tick(0);
+        a.ghost.insert(7, 1);
+        let mut b = Frontier::new();
+        b.view.bump(Loc::from_raw(1), 2);
+        b.vc.tick(1);
+        b.ghost.insert(7, 2);
+
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert!(j.ghost.contains(7, 1) && j.ghost.contains(7, 2));
+    }
+
+    #[test]
+    fn empty_is_bottom() {
+        let mut a = Frontier::new();
+        a.view.bump(Loc::from_raw(0), 1);
+        assert!(Frontier::new().leq(&a));
+        assert!(!a.leq(&Frontier::new()));
+    }
+}

@@ -1,0 +1,129 @@
+//! Ghost logical views: per-object event-id sets carried on messages.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fmt;
+
+/// A *ghost view*: a finite map from object keys to sets of event ids,
+/// forming a join-semilattice under pointwise union.
+///
+/// This is the model-level carrier for the paper's *logical views* (§3.1):
+/// the `compass` crate allocates one key per library object and interprets
+/// the id sets as sets of committed library events. Ghost views are
+/// transferred between threads with exactly the same rules as physical
+/// views — release writes publish them on messages, acquire reads join them
+/// — so `ghost(key)` at an operation's commit point is precisely the set of
+/// that object's events that *happen before* the operation, i.e. the event's
+/// `logview`.
+///
+/// ```
+/// use orc11::GhostView;
+/// let mut g = GhostView::new();
+/// g.insert(1, 10);
+/// g.insert(1, 11);
+/// let mut h = GhostView::new();
+/// h.insert(1, 12);
+/// g.join(&h);
+/// assert_eq!(g.get(1).len(), 3);
+/// assert!(g.get(2).is_empty());
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct GhostView {
+    map: BTreeMap<u64, BTreeSet<u64>>,
+}
+
+impl GhostView {
+    /// The empty ghost view.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds event `id` to the set for `key`.
+    pub fn insert(&mut self, key: u64, id: u64) {
+        self.map.entry(key).or_default().insert(id);
+    }
+
+    /// The event set for `key` (empty if absent).
+    pub fn get(&self, key: u64) -> BTreeSet<u64> {
+        self.map.get(&key).cloned().unwrap_or_default()
+    }
+
+    /// Whether `id` is in the set for `key`.
+    pub fn contains(&self, key: u64, id: u64) -> bool {
+        self.map.get(&key).is_some_and(|s| s.contains(&id))
+    }
+
+    /// Pointwise union with `other`.
+    pub fn join(&mut self, other: &GhostView) {
+        for (&k, s) in &other.map {
+            self.map.entry(k).or_default().extend(s.iter().copied());
+        }
+    }
+
+    /// Pointwise inclusion: `self ⊑ other`.
+    pub fn leq(&self, other: &GhostView) -> bool {
+        self.map.iter().all(|(&k, s)| {
+            other
+                .map
+                .get(&k)
+                .is_some_and(|o| s.is_subset(o))
+                || s.is_empty()
+        })
+    }
+
+    /// Whether no key has any events.
+    pub fn is_empty(&self) -> bool {
+        self.map.values().all(|s| s.is_empty())
+    }
+}
+
+impl fmt::Debug for GhostView {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.map.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_contains() {
+        let mut g = GhostView::new();
+        assert!(!g.contains(0, 1));
+        g.insert(0, 1);
+        assert!(g.contains(0, 1));
+        assert!(!g.contains(1, 1));
+    }
+
+    #[test]
+    fn join_unions_per_key() {
+        let mut a = GhostView::new();
+        a.insert(0, 1);
+        a.insert(2, 5);
+        let mut b = GhostView::new();
+        b.insert(0, 2);
+        a.join(&b);
+        assert!(a.contains(0, 1) && a.contains(0, 2) && a.contains(2, 5));
+    }
+
+    #[test]
+    fn leq_is_pointwise_subset() {
+        let mut a = GhostView::new();
+        a.insert(0, 1);
+        let mut b = a.clone();
+        b.insert(0, 2);
+        b.insert(1, 9);
+        assert!(a.leq(&b));
+        assert!(!b.leq(&a));
+        assert!(GhostView::new().leq(&a));
+    }
+
+    #[test]
+    fn empty_checks() {
+        let g = GhostView::new();
+        assert!(g.is_empty());
+        let mut h = GhostView::new();
+        h.insert(3, 4);
+        assert!(!h.is_empty());
+    }
+}

@@ -1,0 +1,593 @@
+//! Litmus tests: small programs with outcome histograms.
+//!
+//! A litmus test is a reusable model program whose threads each return an
+//! integer; exploring it yields a histogram over outcome tuples, with
+//! helpers to assert that an outcome is *observable* (allowed, and the
+//! search found it) or *never observed* (forbidden). The [`gallery`] module
+//! provides the classic RC11 shapes (MP, SB, CoRR, IRIW, ...), which both
+//! document and sanity-check the substrate's semantics (§2.3/§5 of the
+//! paper).
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::Arc;
+
+use crate::exec::{run_model, BodyFn, Config, RunOutcome, ThreadCtx};
+use crate::explore::{ExploreReport, Explorer};
+use crate::sched::Strategy;
+
+type SetupFn<S> = Arc<dyn Fn(&mut ThreadCtx) -> S + Send + Sync>;
+type ThreadFn<S> = Arc<dyn Fn(&mut ThreadCtx, &S) -> i64 + Send + Sync>;
+
+type FinalsFn<S> = Arc<dyn Fn(&mut ThreadCtx, &S) -> Vec<i64> + Send + Sync>;
+
+/// A re-runnable litmus test.
+///
+/// ```
+/// use orc11::litmus::Litmus;
+/// use orc11::{Mode, Val};
+///
+/// // Two relaxed increments via CAS never collide.
+/// let report = Litmus::new("inc", |ctx| ctx.alloc("c", Val::Int(0)))
+///     .thread(|ctx, &c| {
+///         ctx.fetch_add(c, 1, Mode::Relaxed);
+///         0
+///     })
+///     .thread(|ctx, &c| {
+///         ctx.fetch_add(c, 1, Mode::Relaxed);
+///         0
+///     })
+///     .observe_finals(|ctx, &c| vec![ctx.peek(c).expect_int()])
+///     .dfs(10_000);
+/// assert!(report.report.exhausted);
+/// report.assert_never(&[0, 0, 1]);
+/// report.assert_observable(&[0, 0, 2]);
+/// ```
+pub struct Litmus<S> {
+    name: String,
+    cfg: Config,
+    setup: SetupFn<S>,
+    bodies: Vec<ThreadFn<S>>,
+    finals: Option<FinalsFn<S>>,
+}
+
+impl<S> fmt::Debug for Litmus<S> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Litmus")
+            .field("name", &self.name)
+            .field("threads", &self.bodies.len())
+            .finish()
+    }
+}
+
+impl<S: Sync + 'static> Litmus<S> {
+    /// Creates a litmus test with the given shared-state setup.
+    pub fn new(name: &str, setup: impl Fn(&mut ThreadCtx) -> S + Send + Sync + 'static) -> Self {
+        Litmus {
+            name: name.to_string(),
+            cfg: Config::default(),
+            setup: Arc::new(setup),
+            bodies: Vec::new(),
+            finals: None,
+        }
+    }
+
+    /// Adds a thread; its return value becomes one component of the
+    /// outcome tuple.
+    pub fn thread(mut self, f: impl Fn(&mut ThreadCtx, &S) -> i64 + Send + Sync + 'static) -> Self {
+        self.bodies.push(Arc::new(f));
+        self
+    }
+
+    /// Observes final state after all threads joined (e.g. latest values
+    /// of locations via [`ThreadCtx::peek`]); the returned integers are
+    /// appended to the outcome tuple.
+    pub fn observe_finals(
+        mut self,
+        f: impl Fn(&mut ThreadCtx, &S) -> Vec<i64> + Send + Sync + 'static,
+    ) -> Self {
+        self.finals = Some(Arc::new(f));
+        self
+    }
+
+    /// Overrides the per-execution step budget.
+    pub fn max_steps(mut self, n: u64) -> Self {
+        self.cfg.max_steps = n;
+        self
+    }
+
+    /// The test's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Runs one execution under `strategy`.
+    pub fn run_once(&self, strategy: Box<dyn Strategy>) -> RunOutcome<Vec<i64>> {
+        let setup = self.setup.clone();
+        let bodies: Vec<BodyFn<'_, S, i64>> = self
+            .bodies
+            .iter()
+            .map(|b| {
+                let b = b.clone();
+                Box::new(move |ctx: &mut ThreadCtx, s: &S| b(ctx, s)) as BodyFn<'_, S, i64>
+            })
+            .collect();
+        let finals = self.finals.clone();
+        run_model(&self.cfg, strategy, |ctx| setup(ctx), bodies, move |ctx, s, mut outs| {
+            if let Some(f) = &finals {
+                outs.extend(f(ctx, s));
+            }
+            outs
+        })
+    }
+
+    /// Exhaustive exploration up to `max_execs` executions.
+    pub fn dfs(&self, max_execs: u64) -> LitmusReport {
+        let mut histogram = BTreeMap::new();
+        let report = Explorer.dfs(
+            max_execs,
+            |s| self.run_once(s),
+            |_, out| {
+                if let Ok(o) = &out.result {
+                    *histogram.entry(o.clone()).or_insert(0) += 1;
+                }
+            },
+        );
+        LitmusReport {
+            name: self.name.clone(),
+            histogram,
+            report,
+        }
+    }
+
+    /// Random exploration over `iters` seeds.
+    pub fn random(&self, iters: u64, seed0: u64) -> LitmusReport {
+        let mut histogram = BTreeMap::new();
+        let report = Explorer.random(
+            iters,
+            seed0,
+            |s| self.run_once(s),
+            |_, out| {
+                if let Ok(o) = &out.result {
+                    *histogram.entry(o.clone()).or_insert(0) += 1;
+                }
+            },
+        );
+        LitmusReport {
+            name: self.name.clone(),
+            histogram,
+            report,
+        }
+    }
+}
+
+/// Outcome histogram of a litmus exploration.
+#[derive(Debug)]
+pub struct LitmusReport {
+    /// Test name.
+    pub name: String,
+    /// Executions per outcome tuple.
+    pub histogram: BTreeMap<Vec<i64>, u64>,
+    /// The underlying exploration report.
+    pub report: ExploreReport,
+}
+
+impl LitmusReport {
+    /// Whether the outcome tuple was observed.
+    pub fn observed(&self, outcome: &[i64]) -> bool {
+        self.histogram.contains_key(outcome)
+    }
+
+    /// Asserts that the outcome was observed (the behaviour is allowed and
+    /// the exploration was strong enough to exhibit it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was never observed.
+    pub fn assert_observable(&self, outcome: &[i64]) {
+        assert!(
+            self.observed(outcome),
+            "{}: expected outcome {:?} to be observable; histogram: {:?}",
+            self.name,
+            outcome,
+            self.histogram
+        );
+    }
+
+    /// Asserts that the outcome was never observed (a forbidden behaviour).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the outcome was observed, or if any execution errored.
+    pub fn assert_never(&self, outcome: &[i64]) {
+        self.report.assert_all_ok();
+        assert!(
+            !self.observed(outcome),
+            "{}: forbidden outcome {:?} was observed {} times",
+            self.name,
+            outcome,
+            self.histogram.get(outcome).copied().unwrap_or(0)
+        );
+    }
+}
+
+impl fmt::Display for LitmusReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{} — {}", self.name, self.report)?;
+        for (outcome, count) in &self.histogram {
+            writeln!(f, "  {outcome:?}: {count}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The classic litmus shapes, used to validate the substrate (experiment
+/// E8 in `DESIGN.md`).
+pub mod gallery {
+    use super::Litmus;
+    use crate::mode::{FenceMode, Mode};
+    use crate::val::{Loc, Val};
+
+    type Two = (Loc, Loc);
+
+    fn two(ctx: &mut crate::exec::ThreadCtx) -> Two {
+        (ctx.alloc("x", Val::Int(0)), ctx.alloc("y", Val::Int(0)))
+    }
+
+    /// Message passing with release/acquire: reading `flag == 1` implies
+    /// reading `data == 1`. Outcome `(_, stale)` where `stale = data` read
+    /// after awaiting the flag; `[_, 0]` is forbidden.
+    pub fn mp_rel_acq() -> Litmus<Two> {
+        Litmus::new("MP+rel+acq", two)
+            .thread(|ctx, &(d, f)| {
+                ctx.write(d, Val::Int(1), Mode::Relaxed);
+                ctx.write(f, Val::Int(1), Mode::Release);
+                0
+            })
+            .thread(|ctx, &(d, f)| {
+                ctx.read_await(f, Mode::Acquire, |v| v == Val::Int(1));
+                ctx.read(d, Mode::Relaxed).expect_int()
+            })
+    }
+
+    /// Message passing with a relaxed flag write: `[_, 0]` is allowed.
+    pub fn mp_relaxed() -> Litmus<Two> {
+        Litmus::new("MP+rlx+acq", two)
+            .thread(|ctx, &(d, f)| {
+                ctx.write(d, Val::Int(1), Mode::Relaxed);
+                ctx.write(f, Val::Int(1), Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &(d, f)| {
+                ctx.read_await(f, Mode::Acquire, |v| v == Val::Int(1));
+                ctx.read(d, Mode::Relaxed).expect_int()
+            })
+    }
+
+    /// Message passing through fences: release fence + relaxed writes /
+    /// relaxed read + acquire fence. `[_, 0]` is forbidden.
+    pub fn mp_fences() -> Litmus<Two> {
+        Litmus::new("MP+fences", two)
+            .thread(|ctx, &(d, f)| {
+                ctx.write(d, Val::Int(1), Mode::Relaxed);
+                ctx.fence(FenceMode::Release);
+                ctx.write(f, Val::Int(1), Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &(d, f)| {
+                ctx.read_await(f, Mode::Relaxed, |v| v == Val::Int(1));
+                ctx.fence(FenceMode::Acquire);
+                ctx.read(d, Mode::Relaxed).expect_int()
+            })
+    }
+
+    /// Store buffering with SC fences between the store and the load:
+    /// `[0, 0]` becomes forbidden — the store-load ordering only SC
+    /// fences provide.
+    pub fn sb_sc_fences() -> Litmus<Two> {
+        Litmus::new("SB+scfences", two)
+            .thread(|ctx, &(x, y)| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                ctx.fence(FenceMode::SeqCst);
+                ctx.read(y, Mode::Relaxed).expect_int()
+            })
+            .thread(|ctx, &(x, y)| {
+                ctx.write(y, Val::Int(1), Mode::Relaxed);
+                ctx.fence(FenceMode::SeqCst);
+                ctx.read(x, Mode::Relaxed).expect_int()
+            })
+    }
+
+    /// Store buffering: `[0, 0]` is allowed even with release/acquire.
+    pub fn sb() -> Litmus<Two> {
+        Litmus::new("SB", two)
+            .thread(|ctx, &(x, y)| {
+                ctx.write(x, Val::Int(1), Mode::Release);
+                ctx.read(y, Mode::Acquire).expect_int()
+            })
+            .thread(|ctx, &(x, y)| {
+                ctx.write(y, Val::Int(1), Mode::Release);
+                ctx.read(x, Mode::Acquire).expect_int()
+            })
+    }
+
+    /// Coherence of read-read: two reads of the same location by one
+    /// thread may not observe writes out of modification order.
+    /// Outcomes are encoded as `10*first + second`; `12` is allowed,
+    /// `21` is forbidden.
+    pub fn corr() -> Litmus<Loc> {
+        Litmus::new("CoRR", |ctx| ctx.alloc("x", Val::Int(0)))
+            .thread(|ctx, &x| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &x| {
+                ctx.write(x, Val::Int(2), Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &x| {
+                let a = ctx.read(x, Mode::Relaxed).expect_int();
+                let b = ctx.read(x, Mode::Relaxed).expect_int();
+                10 * a + b
+            })
+    }
+
+    /// Independent reads of independent writes, with release/acquire:
+    /// the two readers may disagree on the order of the writes (allowed
+    /// in RC11 for acquire reads — unlike SC). Outcome per reader is
+    /// `10*first + second`; `[_, _, 10, 01]` (disagreement) is allowed.
+    pub fn iriw_acq() -> Litmus<Two> {
+        Litmus::new("IRIW+acq", two)
+            .thread(|ctx, &(x, _)| {
+                ctx.write(x, Val::Int(1), Mode::Release);
+                0
+            })
+            .thread(|ctx, &(_, y)| {
+                ctx.write(y, Val::Int(1), Mode::Release);
+                0
+            })
+            .thread(|ctx, &(x, y)| {
+                let a = ctx.read(x, Mode::Acquire).expect_int();
+                let b = ctx.read(y, Mode::Acquire).expect_int();
+                10 * a + b
+            })
+            .thread(|ctx, &(x, y)| {
+                let b = ctx.read(y, Mode::Acquire).expect_int();
+                let a = ctx.read(x, Mode::Acquire).expect_int();
+                10 * b + a
+            })
+    }
+
+    /// Load buffering: can both threads read the other's later write?
+    /// `[1, 1]` is **forbidden** in ORC11 (`po ∪ rf` acyclic — the model
+    /// paper's headline restriction relative to full C11), and this
+    /// operational model cannot produce it by construction: a read can
+    /// only return an already-executed write.
+    pub fn lb() -> Litmus<Two> {
+        Litmus::new("LB", two)
+            .thread(|ctx, &(x, y)| {
+                let r = ctx.read(x, Mode::Relaxed).expect_int();
+                ctx.write(y, Val::Int(1), Mode::Relaxed);
+                r
+            })
+            .thread(|ctx, &(x, y)| {
+                let r = ctx.read(y, Mode::Relaxed).expect_int();
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                r
+            })
+    }
+
+    /// 2+2W: both threads write both locations in opposite orders; the
+    /// outcome is the final value of each location. `[1, 1]` (both
+    /// first-writes win) requires inserting writes into the middle of
+    /// modification order, which RC11 allows for relaxed accesses but
+    /// this model's append-only `mo` excludes — a **documented
+    /// limitation** (see `DESIGN.md` §2), checked here so it cannot drift
+    /// silently.
+    pub fn two_plus_two_w() -> Litmus<Two> {
+        Litmus::new("2+2W", two)
+            .thread(|ctx, &(x, y)| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                ctx.write(y, Val::Int(2), Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &(x, y)| {
+                ctx.write(y, Val::Int(1), Mode::Relaxed);
+                ctx.write(x, Val::Int(2), Mode::Relaxed);
+                0
+            })
+            .observe_finals(|ctx, &(x, y)| {
+                vec![ctx.peek(x).expect_int(), ctx.peek(y).expect_int()]
+            })
+    }
+
+    /// Coherence write-read: a thread reading a location it just wrote
+    /// must see its own write (or a later one) — never the initial value.
+    /// Outcome `[0]` is forbidden.
+    pub fn cowr() -> Litmus<Loc> {
+        Litmus::new("CoWR", |ctx| ctx.alloc("x", Val::Int(0)))
+            .thread(|ctx, &x| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &x| {
+                ctx.write(x, Val::Int(2), Mode::Relaxed);
+                ctx.read(x, Mode::Relaxed).expect_int()
+            })
+    }
+
+    /// Release sequences: an acquire read of a relaxed RMW synchronizes
+    /// with the release write heading the sequence. Reading `x == 2`
+    /// (the RMW's value) implies seeing `data == 1`; `[_, _, 0]` is
+    /// forbidden.
+    pub fn release_sequence() -> Litmus<Two> {
+        Litmus::new("REL-SEQ", two)
+            .thread(|ctx, &(d, x)| {
+                ctx.write(d, Val::Int(1), Mode::Relaxed);
+                ctx.write(x, Val::Int(1), Mode::Release);
+                0
+            })
+            .thread(|ctx, &(_, x)| {
+                // Relaxed RMW extends the release sequence.
+                ctx.read_await(x, Mode::Relaxed, |v| v == Val::Int(1));
+                let _ = ctx.cas(x, Val::Int(1), Val::Int(2), Mode::Relaxed, Mode::Relaxed);
+                0
+            })
+            .thread(|ctx, &(d, x)| {
+                ctx.read_await(x, Mode::Acquire, |v| v == Val::Int(2));
+                ctx.read(d, Mode::Relaxed).expect_int()
+            })
+    }
+
+    /// RMW atomicity: two fetch-and-adds never read the same value.
+    /// Outcome is the final counter value; anything but `2` is forbidden.
+    pub fn rmw_atomicity() -> Litmus<Loc> {
+        Litmus::new("RMW-atomicity", |ctx| ctx.alloc("c", Val::Int(0)))
+            .thread(|ctx, &c| {
+                ctx.fetch_add(c, 1, Mode::Relaxed);
+                ctx.read(c, Mode::Relaxed).expect_int()
+            })
+            .thread(|ctx, &c| {
+                ctx.fetch_add(c, 1, Mode::Relaxed);
+                ctx.read(c, Mode::Relaxed).expect_int()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::gallery::*;
+
+    #[test]
+    fn mp_rel_acq_forbids_stale_read() {
+        let r = mp_rel_acq().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_never(&[0, 0]);
+        r.assert_observable(&[0, 1]);
+    }
+
+    #[test]
+    fn mp_relaxed_allows_stale_read() {
+        let r = mp_relaxed().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_observable(&[0, 0]);
+        r.assert_observable(&[0, 1]);
+    }
+
+    #[test]
+    fn mp_fences_forbid_stale_read() {
+        let r = mp_fences().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_never(&[0, 0]);
+    }
+
+    #[test]
+    fn sb_allows_both_zero() {
+        let r = sb().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_observable(&[0, 0]);
+        r.assert_observable(&[1, 1]);
+    }
+
+    #[test]
+    fn sb_sc_fences_forbid_both_zero() {
+        let r = sb_sc_fences().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_never(&[0, 0]);
+        r.assert_observable(&[0, 1]);
+        r.assert_observable(&[1, 1]);
+    }
+
+    #[test]
+    fn corr_respects_coherence() {
+        let r = corr().dfs(200_000);
+        assert!(r.report.exhausted);
+        // Seeing 1 then 2 (or 2 then 1) depends on mo, but downgrading is
+        // forbidden: having seen the mo-later write, you cannot go back.
+        let seen12 = r.observed(&[0, 0, 12]);
+        let seen21 = r.observed(&[0, 0, 21]);
+        assert!(seen12 ^ seen21 || (seen12 || seen21),
+            "at least one order observable");
+        // A read can never observe a value and then an mo-earlier one.
+        for (outcome, _) in &r.histogram {
+            let o = outcome[2];
+            let (a, b) = (o / 10, o % 10);
+            if a != 0 && b != 0 {
+                // Both writes seen: order must match mo. We cannot know mo
+                // from outside, but (a, b) == (2, 1) and (1, 2) cannot both
+                // be coherent in the SAME execution; across executions both
+                // can appear. The per-execution check is done by the model
+                // (reads never go below the view). Here we just check
+                // non-degenerate values.
+                assert!((1..=2).contains(&a) && (1..=2).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn iriw_acq_allows_disagreement() {
+        // Keep DFS budget higher: 4 threads.
+        let r = iriw_acq().dfs(500_000);
+        assert!(r.report.exhausted, "IRIW should be explorable: {}", r.report);
+        r.assert_observable(&[0, 0, 10, 10]);
+    }
+
+    #[test]
+    fn lb_is_forbidden() {
+        let r = lb().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_never(&[1, 1]);
+        r.assert_observable(&[0, 0]);
+        r.assert_observable(&[0, 1]);
+        r.assert_observable(&[1, 0]);
+    }
+
+    #[test]
+    fn two_plus_two_w_append_only_mo() {
+        let r = two_plus_two_w().dfs(500_000);
+        assert!(r.report.exhausted, "{}", r.report);
+        // Allowed finals observed...
+        let finals: std::collections::BTreeSet<(i64, i64)> = r
+            .histogram
+            .keys()
+            .map(|o| (o[2], o[3]))
+            .collect();
+        assert!(finals.contains(&(1, 2)));
+        assert!(finals.contains(&(2, 1)));
+        assert!(finals.contains(&(2, 2)));
+        // ...and the mo-insertion outcome is absent (documented model
+        // limitation relative to full RC11).
+        assert!(!finals.contains(&(1, 1)));
+    }
+
+    #[test]
+    fn cowr_sees_own_write() {
+        let r = cowr().dfs(50_000);
+        assert!(r.report.exhausted);
+        r.assert_never(&[0, 0]);
+        r.assert_observable(&[0, 2]);
+        r.assert_observable(&[0, 1]); // another thread's later write is fine
+    }
+
+    #[test]
+    fn release_sequence_synchronizes() {
+        let r = release_sequence().dfs(200_000);
+        assert!(r.report.exhausted, "{}", r.report);
+        r.assert_never(&[0, 0, 0]);
+        r.assert_observable(&[0, 0, 1]);
+    }
+
+    #[test]
+    fn rmw_is_atomic() {
+        let r = rmw_atomicity().dfs(50_000);
+        assert!(r.report.exhausted);
+        for (outcome, _) in &r.histogram {
+            // Final reads: at least one thread reads 2 eventually is not
+            // guaranteed (it reads its own update, possibly before the
+            // other's), but the two RMWs never produce the same value:
+            // outcome components are each 1 or 2 and not both 1.
+            assert!(outcome.iter().all(|&v| v == 1 || v == 2));
+            assert_ne!(outcome.as_slice(), &[1, 1]);
+        }
+    }
+}

@@ -1,0 +1,167 @@
+//! Access and fence modes of the ORC11 fragment.
+
+use std::fmt;
+
+/// Memory access modes.
+///
+/// ORC11 (the RC11 variant the paper targets) has non-atomic, relaxed,
+/// release, and acquire accesses, plus fences. `AcqRel` is the combined
+/// mode for read-modify-writes. SC accesses are not part of the fragment
+/// and are not modelled.
+///
+/// Not every mode is legal for every operation; e.g. a plain read cannot be
+/// `Release`. The memory validates modes dynamically ([C-VALIDATE]) and
+/// panics on misuse, since mode misuse is a bug in the *simulated* program.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum Mode {
+    /// Non-atomic access. Racy non-atomics abort the execution.
+    NonAtomic,
+    /// Relaxed atomic access: no synchronization by itself, but feeds
+    /// release/acquire *fences* and release sequences.
+    Relaxed,
+    /// Release write (or the write half of an RMW).
+    Release,
+    /// Acquire read (or the read half of an RMW).
+    Acquire,
+    /// Acquire-release, for read-modify-writes.
+    AcqRel,
+}
+
+impl Mode {
+    /// Whether the mode is atomic (everything except [`Mode::NonAtomic`]).
+    pub fn is_atomic(self) -> bool {
+        !matches!(self, Mode::NonAtomic)
+    }
+
+    /// Whether a read at this mode acquires the message frontier into `cur`.
+    pub fn acquires(self) -> bool {
+        matches!(self, Mode::Acquire | Mode::AcqRel)
+    }
+
+    /// Whether a write at this mode releases the thread's `cur` frontier.
+    pub fn releases(self) -> bool {
+        matches!(self, Mode::Release | Mode::AcqRel)
+    }
+
+    /// Validates this mode for use by a plain read.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Release` (reads cannot release).
+    pub fn check_read(self) {
+        assert!(
+            !matches!(self, Mode::Release),
+            "a read cannot use Release mode"
+        );
+    }
+
+    /// Validates this mode for use by a plain write.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `Acquire` (writes cannot acquire).
+    pub fn check_write(self) {
+        assert!(
+            !matches!(self, Mode::Acquire),
+            "a write cannot use Acquire mode"
+        );
+    }
+
+    /// Validates this mode for use by an RMW.
+    ///
+    /// # Panics
+    ///
+    /// Panics for `NonAtomic` (RMWs are atomic by definition).
+    pub fn check_rmw(self) {
+        assert!(self.is_atomic(), "an RMW cannot be non-atomic");
+    }
+}
+
+impl fmt::Display for Mode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Mode::NonAtomic => "na",
+            Mode::Relaxed => "rlx",
+            Mode::Release => "rel",
+            Mode::Acquire => "acq",
+            Mode::AcqRel => "acq-rel",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Fence modes.
+#[derive(Copy, Clone, PartialEq, Eq, Hash, Debug)]
+pub enum FenceMode {
+    /// Acquire fence: promotes the `acq` frontier (pending relaxed reads)
+    /// into `cur`.
+    Acquire,
+    /// Release fence: snapshots `cur` into `rel`, to be published by later
+    /// relaxed writes.
+    Release,
+    /// Combined acquire + release fence.
+    AcqRel,
+    /// Sequentially consistent fence: an acquire-release fence that
+    /// additionally joins with a single global "SC frontier" and publishes
+    /// into it, totally ordering all SC fences (the store-load ordering
+    /// release/acquire cannot provide). Needed e.g. by the Chase-Lev
+    /// deque.
+    SeqCst,
+}
+
+impl fmt::Display for FenceMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FenceMode::Acquire => "fence(acq)",
+            FenceMode::Release => "fence(rel)",
+            FenceMode::AcqRel => "fence(acq-rel)",
+            FenceMode::SeqCst => "fence(sc)",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn atomicity_classification() {
+        assert!(!Mode::NonAtomic.is_atomic());
+        for m in [Mode::Relaxed, Mode::Release, Mode::Acquire, Mode::AcqRel] {
+            assert!(m.is_atomic());
+        }
+    }
+
+    #[test]
+    fn acquire_release_classification() {
+        assert!(Mode::Acquire.acquires() && Mode::AcqRel.acquires());
+        assert!(!Mode::Relaxed.acquires() && !Mode::Release.acquires());
+        assert!(Mode::Release.releases() && Mode::AcqRel.releases());
+        assert!(!Mode::Relaxed.releases() && !Mode::Acquire.releases());
+    }
+
+    #[test]
+    #[should_panic(expected = "read cannot use Release")]
+    fn release_read_rejected() {
+        Mode::Release.check_read();
+    }
+
+    #[test]
+    #[should_panic(expected = "write cannot use Acquire")]
+    fn acquire_write_rejected() {
+        Mode::Acquire.check_write();
+    }
+
+    #[test]
+    #[should_panic(expected = "RMW cannot be non-atomic")]
+    fn non_atomic_rmw_rejected() {
+        Mode::NonAtomic.check_rmw();
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Mode::Relaxed.to_string(), "rlx");
+        assert_eq!(FenceMode::AcqRel.to_string(), "fence(acq-rel)");
+    }
+}

@@ -1,0 +1,36 @@
+//! Write messages: the elements of per-location histories.
+
+use crate::frontier::Frontier;
+use crate::val::{ThreadId, Val};
+
+/// A write message in a location's history (§2.3: the atomic points-to
+/// assertion `ℓ ↦ h` maps timestamps to `(value, view)` pairs — here the
+/// view is generalized to a full [`Frontier`]).
+#[derive(Clone, Debug)]
+pub struct Msg {
+    /// The written value.
+    pub val: Val,
+    /// The frontier released by this write: joined by acquire readers.
+    pub frontier: Frontier,
+    /// The writing thread.
+    pub writer: ThreadId,
+    /// Whether the write was atomic.
+    pub atomic: bool,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn msg_construction() {
+        let m = Msg {
+            val: Val::Int(1),
+            frontier: Frontier::new(),
+            writer: 0,
+            atomic: true,
+        };
+        assert_eq!(m.val, Val::Int(1));
+        assert!(m.atomic);
+    }
+}

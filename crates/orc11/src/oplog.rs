@@ -1,0 +1,175 @@
+//! Per-execution operation logs.
+//!
+//! With [`crate::Config::record_ops`] enabled, every model instruction is
+//! recorded; the log renders as a human-readable schedule — the first
+//! thing to look at when a consistency checker reports a violation on
+//! some seed.
+
+use std::fmt;
+
+use crate::mode::{FenceMode, Mode};
+use crate::val::{Loc, ThreadId, Val};
+use crate::view::Timestamp;
+
+/// What a recorded instruction did.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OpKindRecord {
+    /// Allocated `count` locations starting at the recorded location.
+    Alloc {
+        /// Number of locations in the block.
+        count: u32,
+    },
+    /// A read that returned `val` from the write at `ts`.
+    Read {
+        /// Access mode.
+        mode: Mode,
+        /// Value read.
+        val: Val,
+        /// Timestamp of the message read.
+        ts: Timestamp,
+        /// Whether this was a blocking `read_await`.
+        awaited: bool,
+    },
+    /// A write of `val` at timestamp `ts`.
+    Write {
+        /// Access mode.
+        mode: Mode,
+        /// Value written.
+        val: Val,
+        /// Timestamp of the new message.
+        ts: Timestamp,
+    },
+    /// A read-modify-write that read `old` and wrote `new` (`None` = a
+    /// failed CAS).
+    Rmw {
+        /// Mode of the successful RMW.
+        mode: Mode,
+        /// Value read.
+        old: Val,
+        /// Value written, if the RMW succeeded.
+        new: Option<Val>,
+    },
+    /// A fence.
+    Fence {
+        /// Fence mode.
+        mode: FenceMode,
+    },
+}
+
+/// One recorded model instruction.
+#[derive(Clone, Debug)]
+pub struct OpRecord {
+    /// Global step index.
+    pub step: u64,
+    /// Executing thread.
+    pub tid: ThreadId,
+    /// The location involved (`None` for fences).
+    pub loc: Option<Loc>,
+    /// The location's debug name.
+    pub loc_name: String,
+    /// What happened.
+    pub kind: OpKindRecord,
+}
+
+impl fmt::Display for OpRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:4}] t{} ", self.step, self.tid)?;
+        match &self.kind {
+            OpKindRecord::Alloc { count } => {
+                write!(f, "alloc {} ×{count}", self.loc_name)
+            }
+            OpKindRecord::Read {
+                mode,
+                val,
+                ts,
+                awaited,
+            } => write!(
+                f,
+                "{}read^{mode} {} = {val} @{ts}",
+                if *awaited { "await-" } else { "" },
+                self.loc_name
+            ),
+            OpKindRecord::Write { mode, val, ts } => {
+                write!(f, "write^{mode} {} := {val} @{ts}", self.loc_name)
+            }
+            OpKindRecord::Rmw { mode, old, new } => match new {
+                Some(n) => write!(f, "rmw^{mode} {}: {old} → {n}", self.loc_name),
+                None => write!(f, "rmw^{mode} {}: failed (read {old})", self.loc_name),
+            },
+            OpKindRecord::Fence { mode } => write!(f, "{mode}"),
+        }
+    }
+}
+
+/// Renders a full operation log, one instruction per line.
+pub fn render_ops(ops: &[OpRecord]) -> String {
+    let mut s = String::new();
+    for op in ops {
+        s.push_str(&op.to_string());
+        s.push('\n');
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_each_kind() {
+        let mk = |kind| OpRecord {
+            step: 3,
+            tid: 1,
+            loc: Some(Loc::from_raw(0)),
+            loc_name: "x".into(),
+            kind,
+        };
+        assert_eq!(
+            mk(OpKindRecord::Write {
+                mode: Mode::Release,
+                val: Val::Int(5),
+                ts: 2
+            })
+            .to_string(),
+            "[   3] t1 write^rel x := 5 @2"
+        );
+        assert!(mk(OpKindRecord::Read {
+            mode: Mode::Acquire,
+            val: Val::Null,
+            ts: 0,
+            awaited: true
+        })
+        .to_string()
+        .contains("await-read^acq"));
+        assert!(mk(OpKindRecord::Rmw {
+            mode: Mode::AcqRel,
+            old: Val::Int(1),
+            new: None
+        })
+        .to_string()
+        .contains("failed"));
+        assert!(mk(OpKindRecord::Fence {
+            mode: FenceMode::SeqCst
+        })
+        .to_string()
+        .contains("fence(sc)"));
+        assert!(mk(OpKindRecord::Alloc { count: 2 }).to_string().contains("alloc"));
+    }
+
+    #[test]
+    fn render_joins_lines() {
+        let ops = vec![
+            OpRecord {
+                step: 1,
+                tid: 0,
+                loc: None,
+                loc_name: String::new(),
+                kind: OpKindRecord::Fence {
+                    mode: FenceMode::Acquire,
+                },
+            };
+            2
+        ];
+        assert_eq!(render_ops(&ops).lines().count(), 2);
+    }
+}

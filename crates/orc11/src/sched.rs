@@ -1,0 +1,265 @@
+//! Scheduling strategies and replayable choice traces.
+//!
+//! Every nondeterministic decision of the model — *which thread steps next*
+//! and *which message a read reads* — is delegated to a [`Strategy`]. The
+//! executed decisions are recorded as a [`Choice`] trace, which makes
+//! executions replayable and enables stateless bounded-exhaustive
+//! exploration (see [`crate::Explorer`]).
+
+use std::fmt;
+
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// What kind of decision a choice was.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub enum ChoiceKind {
+    /// Which runnable thread executes the next instruction.
+    Thread,
+    /// Which readable message an atomic read reads.
+    Read,
+}
+
+/// One recorded nondeterministic decision.
+///
+/// Only decisions with more than one alternative are recorded.
+#[derive(Copy, Clone, PartialEq, Eq, Debug)]
+pub struct Choice {
+    /// The kind of decision.
+    pub kind: ChoiceKind,
+    /// The index that was chosen.
+    pub chosen: u32,
+    /// How many alternatives there were.
+    pub arity: u32,
+}
+
+/// A source of scheduling and read-choice decisions.
+///
+/// Implementations must be deterministic functions of their own state and
+/// the sequence of queries — the executor guarantees that this sequence is
+/// itself a deterministic function of the answers, which is what makes
+/// traces replayable.
+pub trait Strategy: Send {
+    /// Picks one of `arity` alternatives (`arity >= 2`).
+    fn choose(&mut self, kind: ChoiceKind, arity: usize) -> usize;
+
+    /// Picks the next thread among `candidates` (sorted, `len >= 2`).
+    ///
+    /// The default delegates to [`Strategy::choose`]; strategies that care
+    /// about thread identities (e.g. [`PctStrategy`]) override this. The
+    /// returned value is an *index into `candidates`*.
+    fn choose_thread(&mut self, candidates: &[crate::val::ThreadId]) -> usize {
+        self.choose(ChoiceKind::Thread, candidates.len())
+    }
+}
+
+/// Uniform pseudo-random strategy with a fixed seed.
+#[derive(Debug)]
+pub struct RandomStrategy {
+    rng: StdRng,
+}
+
+impl RandomStrategy {
+    /// Creates a random strategy from a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomStrategy {
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+}
+
+impl Strategy for RandomStrategy {
+    fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+        self.rng.random_range(0..arity)
+    }
+}
+
+/// Boxed [`RandomStrategy`] convenience constructor.
+pub fn random_strategy(seed: u64) -> Box<dyn Strategy> {
+    Box::new(RandomStrategy::new(seed))
+}
+
+/// Strategy for DFS exploration: follows a forced prefix of decisions and
+/// then always picks alternative 0.
+///
+/// Running a program with successive prefixes produced by
+/// [`crate::Explorer`]'s backtracking enumerates the whole (bounded)
+/// decision tree.
+pub struct DfsStrategy {
+    forced: Vec<u32>,
+    pos: usize,
+}
+
+impl DfsStrategy {
+    /// Creates a DFS strategy with the given forced prefix.
+    pub fn new(forced: Vec<u32>) -> Self {
+        DfsStrategy { forced, pos: 0 }
+    }
+}
+
+impl fmt::Debug for DfsStrategy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DfsStrategy")
+            .field("forced", &self.forced)
+            .field("pos", &self.pos)
+            .finish()
+    }
+}
+
+impl Strategy for DfsStrategy {
+    fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+        let c = if self.pos < self.forced.len() {
+            let c = self.forced[self.pos] as usize;
+            assert!(
+                c < arity,
+                "forced choice {c} out of range {arity}: non-deterministic program?"
+            );
+            c
+        } else {
+            0
+        };
+        self.pos += 1;
+        c
+    }
+}
+
+/// Boxed [`DfsStrategy`] convenience constructor.
+pub fn dfs_strategy(forced: Vec<u32>) -> Box<dyn Strategy> {
+    Box::new(DfsStrategy::new(forced))
+}
+
+/// PCT-style probabilistic scheduling (Burckhardt et al., ASPLOS 2010,
+/// adapted): threads get random priorities; the highest-priority runnable
+/// thread is scheduled, except at `depth` random *change points* (by
+/// scheduling-decision count), where the running thread's priority drops
+/// below everyone's. Read choices stay uniform random.
+///
+/// PCT finds bugs of small "depth" (number of required ordering
+/// constraints) with much higher probability than uniform scheduling.
+#[derive(Debug)]
+pub struct PctStrategy {
+    rng: StdRng,
+    priorities: std::collections::HashMap<crate::val::ThreadId, u64>,
+    change_points: Vec<u64>,
+    decisions: u64,
+    next_low: u64,
+}
+
+impl PctStrategy {
+    /// Creates a PCT strategy with `depth` priority-change points spread
+    /// over the first `horizon` scheduling decisions.
+    pub fn new(seed: u64, depth: usize, horizon: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let change_points = (0..depth)
+            .map(|_| rng.random_range(0..horizon.max(1)))
+            .collect();
+        PctStrategy {
+            rng,
+            priorities: std::collections::HashMap::new(),
+            change_points,
+            decisions: 0,
+            next_low: 0,
+        }
+    }
+}
+
+impl Strategy for PctStrategy {
+    fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
+        self.rng.random_range(0..arity)
+    }
+
+    fn choose_thread(&mut self, candidates: &[crate::val::ThreadId]) -> usize {
+        self.decisions += 1;
+        let decisions = self.decisions;
+        for &t in candidates {
+            let p = self.rng.random_range(1_000_000..u64::MAX);
+            self.priorities.entry(t).or_insert(p);
+        }
+        let (idx, &winner) = candidates
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &t)| self.priorities[&t])
+            .expect("candidates nonempty");
+        if self.change_points.contains(&decisions) {
+            // Demote the winner below every priority seen so far.
+            self.priorities.insert(winner, self.next_low);
+            self.next_low += 1;
+        }
+        idx
+    }
+}
+
+/// Boxed [`PctStrategy`] convenience constructor.
+pub fn pct_strategy(seed: u64, depth: usize, horizon: u64) -> Box<dyn Strategy> {
+    Box::new(PctStrategy::new(seed, depth, horizon))
+}
+
+/// Replays a previously recorded trace exactly.
+///
+/// Equivalent to a DFS strategy whose forced prefix is the full trace;
+/// useful for reproducing a failure found by random exploration.
+pub fn replay_strategy(trace: &[Choice]) -> Box<dyn Strategy> {
+    Box::new(DfsStrategy::new(trace.iter().map(|c| c.chosen).collect()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn random_is_deterministic_per_seed() {
+        let mut a = RandomStrategy::new(42);
+        let mut b = RandomStrategy::new(42);
+        for _ in 0..100 {
+            assert_eq!(
+                a.choose(ChoiceKind::Thread, 5),
+                b.choose(ChoiceKind::Thread, 5)
+            );
+        }
+    }
+
+    #[test]
+    fn random_stays_in_range() {
+        let mut s = RandomStrategy::new(7);
+        for arity in 2..10 {
+            for _ in 0..50 {
+                assert!(s.choose(ChoiceKind::Read, arity) < arity);
+            }
+        }
+    }
+
+    #[test]
+    fn dfs_follows_prefix_then_zero() {
+        let mut s = DfsStrategy::new(vec![1, 2]);
+        assert_eq!(s.choose(ChoiceKind::Thread, 3), 1);
+        assert_eq!(s.choose(ChoiceKind::Read, 4), 2);
+        assert_eq!(s.choose(ChoiceKind::Thread, 2), 0);
+        assert_eq!(s.choose(ChoiceKind::Thread, 2), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn dfs_rejects_out_of_range_prefix() {
+        let mut s = DfsStrategy::new(vec![5]);
+        s.choose(ChoiceKind::Thread, 2);
+    }
+
+    #[test]
+    fn replay_reproduces_choices() {
+        let trace = vec![
+            Choice {
+                kind: ChoiceKind::Thread,
+                chosen: 1,
+                arity: 3,
+            },
+            Choice {
+                kind: ChoiceKind::Read,
+                chosen: 0,
+                arity: 2,
+            },
+        ];
+        let mut s = replay_strategy(&trace);
+        assert_eq!(s.choose(ChoiceKind::Thread, 3), 1);
+        assert_eq!(s.choose(ChoiceKind::Read, 2), 0);
+    }
+}

@@ -1,0 +1,165 @@
+//! Per-thread view state and the fence transfer rules.
+
+use crate::frontier::Frontier;
+use crate::mode::FenceMode;
+
+/// The view state of a simulated thread.
+///
+/// Following the operational presentations of RC11-style models (and §2.3
+/// of the paper), each thread carries three frontiers:
+///
+/// * `cur` — everything the thread has *observed* (its local view),
+/// * `acq` — `cur` plus frontiers obtained by **relaxed** reads, which only
+///   become observations after an acquire *fence* (`cur ⊑ acq`),
+/// * `rel` — the snapshot of `cur` taken at the last release *fence*, which
+///   is what a **relaxed** write publishes (`rel ⊑ cur`).
+#[derive(Clone, Debug, Default)]
+pub struct ThreadView {
+    /// The thread's current frontier.
+    pub cur: Frontier,
+    /// Pending acquisitions from relaxed reads.
+    pub acq: Frontier,
+    /// Snapshot published by relaxed writes (last release fence).
+    pub rel: Frontier,
+}
+
+impl ThreadView {
+    /// A fresh thread view with all frontiers empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A thread view inheriting a parent's `cur` frontier (thread spawn
+    /// edge: everything the parent observed happens-before the child).
+    pub fn inherit(parent_cur: &Frontier) -> Self {
+        ThreadView {
+            cur: parent_cur.clone(),
+            acq: parent_cur.clone(),
+            rel: Frontier::new(),
+        }
+    }
+
+    /// Joins a message frontier as an **acquiring** read would: into `cur`
+    /// (and `acq`, to keep `cur ⊑ acq`).
+    pub fn acquire(&mut self, fr: &Frontier) {
+        self.cur.join(fr);
+        self.acq.join(fr);
+    }
+
+    /// Joins a message frontier as a **relaxed** read would: only into
+    /// `acq`, to be promoted by a later acquire fence.
+    pub fn acquire_relaxed(&mut self, fr: &Frontier) {
+        self.acq.join(fr);
+    }
+
+    /// Applies a fence.
+    ///
+    /// [`FenceMode::SeqCst`] additionally requires the global SC frontier;
+    /// use [`ThreadView::sc_fence`] for it — calling `fence(SeqCst)` here
+    /// applies only its acquire-release part.
+    pub fn fence(&mut self, mode: FenceMode) {
+        match mode {
+            FenceMode::Acquire => {
+                let acq = self.acq.clone();
+                self.cur.join(&acq);
+            }
+            FenceMode::Release => {
+                self.rel = self.cur.clone();
+            }
+            FenceMode::AcqRel | FenceMode::SeqCst => {
+                self.fence(FenceMode::Acquire);
+                self.fence(FenceMode::Release);
+            }
+        }
+    }
+
+    /// Applies an SC fence against the global SC frontier `sc`: promotes
+    /// pending acquisitions, joins with `sc`, snapshots into `rel`, and
+    /// publishes the result back into `sc`. All SC fences thereby totally
+    /// order their views, giving the store-load ordering that
+    /// release/acquire fences cannot.
+    pub fn sc_fence(&mut self, sc: &mut Frontier) {
+        let acq = self.acq.clone();
+        self.cur.join(&acq);
+        self.cur.join(sc);
+        self.acq.join(sc);
+        self.rel = self.cur.clone();
+        *sc = self.cur.clone();
+    }
+
+    /// Checks the internal invariants `rel ⊑ cur ⊑ acq`.
+    pub fn invariants_hold(&self) -> bool {
+        self.rel.leq(&self.cur) && self.cur.leq(&self.acq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::val::Loc;
+    use crate::view::View;
+
+    fn fr(loc: u32, ts: u64) -> Frontier {
+        let mut f = Frontier::new();
+        f.view.bump(Loc::from_raw(loc), ts);
+        f
+    }
+
+    fn view_of(f: &Frontier) -> &View {
+        &f.view
+    }
+
+    #[test]
+    fn acquire_updates_cur_and_acq() {
+        let mut tv = ThreadView::new();
+        tv.acquire(&fr(0, 3));
+        assert_eq!(view_of(&tv.cur).get(Loc::from_raw(0)), Some(3));
+        assert_eq!(view_of(&tv.acq).get(Loc::from_raw(0)), Some(3));
+        assert!(tv.invariants_hold());
+    }
+
+    #[test]
+    fn relaxed_read_needs_acquire_fence() {
+        let mut tv = ThreadView::new();
+        tv.acquire_relaxed(&fr(0, 3));
+        // Not yet observed...
+        assert_eq!(view_of(&tv.cur).get(Loc::from_raw(0)), None);
+        assert!(tv.invariants_hold());
+        // ...until an acquire fence promotes it.
+        tv.fence(FenceMode::Acquire);
+        assert_eq!(view_of(&tv.cur).get(Loc::from_raw(0)), Some(3));
+        assert!(tv.invariants_hold());
+    }
+
+    #[test]
+    fn release_fence_snapshots_cur() {
+        let mut tv = ThreadView::new();
+        tv.acquire(&fr(0, 1));
+        tv.fence(FenceMode::Release);
+        assert_eq!(view_of(&tv.rel).get(Loc::from_raw(0)), Some(1));
+        // Later observations do NOT retroactively enter rel.
+        tv.acquire(&fr(0, 5));
+        assert_eq!(view_of(&tv.rel).get(Loc::from_raw(0)), Some(1));
+        assert!(tv.invariants_hold());
+    }
+
+    #[test]
+    fn acqrel_fence_does_both() {
+        let mut tv = ThreadView::new();
+        tv.acquire_relaxed(&fr(1, 2));
+        tv.fence(FenceMode::AcqRel);
+        assert_eq!(view_of(&tv.cur).get(Loc::from_raw(1)), Some(2));
+        assert_eq!(view_of(&tv.rel).get(Loc::from_raw(1)), Some(2));
+    }
+
+    #[test]
+    fn inherit_copies_cur_only() {
+        let mut parent = ThreadView::new();
+        parent.acquire(&fr(0, 4));
+        parent.fence(FenceMode::Release);
+        let child = ThreadView::inherit(&parent.cur);
+        assert_eq!(view_of(&child.cur).get(Loc::from_raw(0)), Some(4));
+        assert!(view_of(&child.rel).is_empty());
+        assert!(child.invariants_hold());
+    }
+}

@@ -1,0 +1,197 @@
+//! Values, locations, and thread identifiers of the model.
+
+use std::fmt;
+
+/// A memory location of the simulated machine.
+///
+/// Locations are dense indices into the model's location table; they are
+/// created with [`crate::ThreadCtx::alloc`] or
+/// [`crate::ThreadCtx::alloc_block`]. A `Loc` is only meaningful within the
+/// execution that allocated it.
+///
+/// ```
+/// use orc11::{Loc, Val};
+/// let v = Val::from(Loc::from_raw(3));
+/// assert_eq!(v.as_loc(), Some(Loc::from_raw(3)));
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Loc(u32);
+
+impl Loc {
+    /// Creates a location from its raw index.
+    ///
+    /// Mostly useful in tests; real locations come from allocation.
+    pub fn from_raw(idx: u32) -> Self {
+        Loc(idx)
+    }
+
+    /// The raw index of this location.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The location `offset` slots after `self` inside a block allocated
+    /// with [`crate::ThreadCtx::alloc_block`].
+    ///
+    /// # Panics
+    ///
+    /// Panics on index overflow. Using an offset that walks past the end of
+    /// the allocated block is not detected here but will be rejected by the
+    /// memory on access if it walks off the location table.
+    pub fn field(self, offset: u32) -> Loc {
+        Loc(self.0.checked_add(offset).expect("location index overflow"))
+    }
+}
+
+impl fmt::Debug for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+impl fmt::Display for Loc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ℓ{}", self.0)
+    }
+}
+
+/// Identifier of a simulated thread.
+///
+/// Thread 0 is the "main" thread that runs the setup and finish phases of a
+/// [`crate::run_model`] program; the parallel bodies get ids `1..=n`.
+pub type ThreadId = usize;
+
+/// A value stored in simulated memory.
+///
+/// The model is untyped but tagged: a cell holds either the null value, a
+/// signed integer, or a location (pointer). CAS compares values for
+/// (tag and payload) equality.
+///
+/// ```
+/// use orc11::Val;
+/// assert!(Val::Null.is_null());
+/// assert_eq!(Val::Int(7).as_int(), Some(7));
+/// assert_ne!(Val::Int(0), Val::Null);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub enum Val {
+    /// The null pointer / distinguished empty value.
+    #[default]
+    Null,
+    /// An integer value.
+    Int(i64),
+    /// A pointer to a location.
+    Loc(Loc),
+}
+
+impl Val {
+    /// Whether this is [`Val::Null`].
+    pub fn is_null(self) -> bool {
+        matches!(self, Val::Null)
+    }
+
+    /// The integer payload, if this is an [`Val::Int`].
+    pub fn as_int(self) -> Option<i64> {
+        match self {
+            Val::Int(i) => Some(i),
+            _ => None,
+        }
+    }
+
+    /// The location payload, if this is a [`Val::Loc`].
+    pub fn as_loc(self) -> Option<Loc> {
+        match self {
+            Val::Loc(l) => Some(l),
+            _ => None,
+        }
+    }
+
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not an [`Val::Int`].
+    pub fn expect_int(self) -> i64 {
+        self.as_int()
+            .unwrap_or_else(|| panic!("expected integer value, got {self:?}"))
+    }
+
+    /// The location payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is not a [`Val::Loc`].
+    pub fn expect_loc(self) -> Loc {
+        self.as_loc()
+            .unwrap_or_else(|| panic!("expected location value, got {self:?}"))
+    }
+}
+
+impl From<i64> for Val {
+    fn from(i: i64) -> Self {
+        Val::Int(i)
+    }
+}
+
+impl From<Loc> for Val {
+    fn from(l: Loc) -> Self {
+        Val::Loc(l)
+    }
+}
+
+impl fmt::Debug for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Val::Null => write!(f, "null"),
+            Val::Int(i) => write!(f, "{i}"),
+            Val::Loc(l) => write!(f, "{l:?}"),
+        }
+    }
+}
+
+impl fmt::Display for Val {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn null_is_distinct_from_zero() {
+        assert_ne!(Val::Null, Val::Int(0));
+        assert!(Val::Null.is_null());
+        assert!(!Val::Int(0).is_null());
+    }
+
+    #[test]
+    fn loc_field_offsets() {
+        let base = Loc::from_raw(10);
+        assert_eq!(base.field(0), base);
+        assert_eq!(base.field(2).index(), 12);
+    }
+
+    #[test]
+    fn val_conversions() {
+        assert_eq!(Val::from(5i64), Val::Int(5));
+        assert_eq!(Val::from(Loc::from_raw(1)).expect_loc(), Loc::from_raw(1));
+        assert_eq!(Val::Int(-3).expect_int(), -3);
+        assert_eq!(Val::Null.as_int(), None);
+        assert_eq!(Val::Int(1).as_loc(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "expected integer")]
+    fn expect_int_panics_on_null() {
+        let _ = Val::Null.expect_int();
+    }
+
+    #[test]
+    fn debug_formats() {
+        assert_eq!(format!("{:?}", Val::Null), "null");
+        assert_eq!(format!("{:?}", Val::Int(9)), "9");
+        assert_eq!(format!("{}", Loc::from_raw(4)), "ℓ4");
+    }
+}

@@ -1,0 +1,161 @@
+//! Physical views: per-location timestamp frontiers.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::val::Loc;
+
+/// A timestamp: the index of a write in a location's history.
+///
+/// Modification order in this model is the append order, so timestamps are
+/// dense indices starting at 0 (the initializing write).
+pub type Timestamp = u64;
+
+/// A *view*: a map from locations to timestamps, recording for each location
+/// the latest write the owner has observed (§2.3 of the paper).
+///
+/// Views form a join-semilattice under pointwise maximum; view inclusion
+/// ([`View::leq`]) is the induced partial order. Missing entries mean
+/// "nothing observed" and behave like `-∞`.
+///
+/// ```
+/// use orc11::{Loc, View};
+/// let mut a = View::new();
+/// a.bump(Loc::from_raw(0), 3);
+/// let mut b = View::new();
+/// b.bump(Loc::from_raw(1), 1);
+/// let mut j = a.clone();
+/// j.join(&b);
+/// assert!(a.leq(&j) && b.leq(&j));
+/// assert_eq!(j.get(Loc::from_raw(0)), Some(3));
+/// ```
+#[derive(Clone, Default, PartialEq, Eq)]
+pub struct View {
+    map: BTreeMap<Loc, Timestamp>,
+}
+
+impl View {
+    /// The empty view (observed nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The timestamp this view holds for `loc`, if any.
+    pub fn get(&self, loc: Loc) -> Option<Timestamp> {
+        self.map.get(&loc).copied()
+    }
+
+    /// Raises the entry for `loc` to at least `ts`.
+    pub fn bump(&mut self, loc: Loc, ts: Timestamp) {
+        let e = self.map.entry(loc).or_insert(ts);
+        *e = (*e).max(ts);
+    }
+
+    /// Pointwise join (least upper bound) with `other`.
+    pub fn join(&mut self, other: &View) {
+        for (&loc, &ts) in &other.map {
+            self.bump(loc, ts);
+        }
+    }
+
+    /// View inclusion: `self ⊑ other`.
+    pub fn leq(&self, other: &View) -> bool {
+        self.map
+            .iter()
+            .all(|(&loc, &ts)| other.get(loc).is_some_and(|o| ts <= o))
+    }
+
+    /// Number of locations with an entry.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the view has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Iterates over `(location, timestamp)` entries in location order.
+    pub fn iter(&self) -> impl Iterator<Item = (Loc, Timestamp)> + '_ {
+        self.map.iter().map(|(&l, &t)| (l, t))
+    }
+}
+
+impl fmt::Debug for View {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_map().entries(self.map.iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn l(i: u32) -> Loc {
+        Loc::from_raw(i)
+    }
+
+    #[test]
+    fn empty_view_is_bottom() {
+        let e = View::new();
+        let mut v = View::new();
+        v.bump(l(0), 5);
+        assert!(e.leq(&v));
+        assert!(!v.leq(&e));
+        assert!(e.leq(&e));
+        assert!(e.is_empty());
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn bump_is_monotone() {
+        let mut v = View::new();
+        v.bump(l(1), 3);
+        v.bump(l(1), 1);
+        assert_eq!(v.get(l(1)), Some(3));
+        v.bump(l(1), 7);
+        assert_eq!(v.get(l(1)), Some(7));
+    }
+
+    #[test]
+    fn join_is_lub() {
+        let mut a = View::new();
+        a.bump(l(0), 2);
+        a.bump(l(1), 5);
+        let mut b = View::new();
+        b.bump(l(1), 3);
+        b.bump(l(2), 1);
+        let mut j = a.clone();
+        j.join(&b);
+        assert!(a.leq(&j));
+        assert!(b.leq(&j));
+        assert_eq!(j.get(l(0)), Some(2));
+        assert_eq!(j.get(l(1)), Some(5));
+        assert_eq!(j.get(l(2)), Some(1));
+    }
+
+    #[test]
+    fn join_commutes() {
+        let mut a = View::new();
+        a.bump(l(0), 2);
+        let mut b = View::new();
+        b.bump(l(0), 4);
+        b.bump(l(3), 9);
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn leq_is_partial_order() {
+        let mut a = View::new();
+        a.bump(l(0), 1);
+        let mut b = View::new();
+        b.bump(l(1), 1);
+        // Incomparable.
+        assert!(!a.leq(&b));
+        assert!(!b.leq(&a));
+    }
+}

@@ -1,0 +1,165 @@
+//! Integration tests for executor behaviours: phase structure, ghost
+//! plumbing, trace replay across strategies, and op accounting.
+
+use orc11::{
+    pct_strategy, random_strategy, replay_strategy, run_model, BodyFn, Config, Loc, Mode,
+    Strategy, Val,
+};
+
+/// A 3-thread program with enough nondeterminism to make traces
+/// interesting: outcome is (t2's read, t3's read).
+fn racy_program(strategy: Box<dyn Strategy>) -> orc11::RunOutcome<(i64, i64)> {
+    run_model(
+        &Config::default(),
+        strategy,
+        |ctx| ctx.alloc("x", Val::Int(0)),
+        vec![
+            Box::new(|ctx: &mut orc11::ThreadCtx, &x: &Loc| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                ctx.write(x, Val::Int(2), Mode::Relaxed);
+                0
+            }) as BodyFn<'_, _, i64>,
+            Box::new(|ctx: &mut orc11::ThreadCtx, &x: &Loc| {
+                ctx.read(x, Mode::Relaxed).expect_int()
+            }),
+            Box::new(|ctx: &mut orc11::ThreadCtx, &x: &Loc| {
+                ctx.read(x, Mode::Relaxed).expect_int()
+            }),
+        ],
+        |_, _, outs| (outs[1], outs[2]),
+    )
+}
+
+#[test]
+fn pct_traces_replay_exactly() {
+    // Every PCT execution's trace, replayed, reproduces the same outcome
+    // and the same trace — strategies differ, determinism does not.
+    for seed in 0..40 {
+        let original = racy_program(pct_strategy(seed, 3, 32));
+        let replayed = racy_program(replay_strategy(&original.trace));
+        assert_eq!(
+            original.result.as_ref().unwrap(),
+            replayed.result.as_ref().unwrap(),
+            "seed {seed}"
+        );
+        assert_eq!(original.trace, replayed.trace, "seed {seed}");
+        assert_eq!(original.steps, replayed.steps, "seed {seed}");
+    }
+}
+
+#[test]
+fn random_and_pct_cover_same_outcome_space() {
+    use std::collections::BTreeSet;
+    let mut random_outcomes = BTreeSet::new();
+    let mut pct_outcomes = BTreeSet::new();
+    for seed in 0..400 {
+        random_outcomes.insert(racy_program(random_strategy(seed)).result.unwrap());
+        pct_outcomes.insert(racy_program(pct_strategy(seed, 3, 32)).result.unwrap());
+    }
+    // Both should see a healthy variety (the full space is {0,1,2}²).
+    assert!(random_outcomes.len() >= 5, "{random_outcomes:?}");
+    assert!(pct_outcomes.len() >= 4, "{pct_outcomes:?}");
+}
+
+#[test]
+fn setup_and_finish_run_solo_with_inherited_views() {
+    // Setup's writes are visible to every body without synchronization
+    // (spawn edges), and finish sees every body's writes (join edges) —
+    // non-atomically, i.e. race-free.
+    let out = run_model(
+        &Config::default(),
+        random_strategy(0),
+        |ctx| {
+            let a = ctx.alloc("a", Val::Int(0));
+            ctx.write(a, Val::Int(10), Mode::NonAtomic);
+            let slots = ctx.alloc_block("slots", &[Val::Int(0), Val::Int(0)]);
+            (a, slots)
+        },
+        vec![
+            Box::new(|ctx: &mut orc11::ThreadCtx, &(a, slots): &(Loc, Loc)| {
+                // Spawn edge: non-atomic read of setup's write is safe.
+                let v = ctx.read(a, Mode::NonAtomic).expect_int();
+                ctx.write(slots.field(0), Val::Int(v + 1), Mode::NonAtomic);
+            }) as BodyFn<'_, _, ()>,
+            Box::new(|ctx: &mut orc11::ThreadCtx, &(a, slots): &(Loc, Loc)| {
+                let v = ctx.read(a, Mode::NonAtomic).expect_int();
+                ctx.write(slots.field(1), Val::Int(v + 2), Mode::NonAtomic);
+            }),
+        ],
+        |ctx, &(_, slots), _| {
+            // Join edges: finish reads both bodies' non-atomic writes.
+            (
+                ctx.read(slots.field(0), Mode::NonAtomic).expect_int(),
+                ctx.read(slots.field(1), Mode::NonAtomic).expect_int(),
+            )
+        },
+    );
+    assert_eq!(out.result.unwrap(), (11, 12));
+}
+
+#[test]
+fn ghost_api_roundtrip() {
+    let out = run_model(
+        &Config::default(),
+        random_strategy(0),
+        |ctx| {
+            // Manual ghost joins work outside commit windows too.
+            ctx.ghost_add(42, 7);
+            assert!(ctx.ghost(42).contains(&7));
+            ctx.alloc("flag", Val::Int(0))
+        },
+        vec![Box::new(|ctx: &mut orc11::ThreadCtx, &flag: &Loc| {
+            // Bodies inherit the setup thread's ghost (spawn edge).
+            assert!(ctx.ghost(42).contains(&7));
+            ctx.write_with(flag, Val::Int(1), Mode::Release, |gh| {
+                assert!(gh.ghost(42).contains(&7));
+                gh.ghost_add(42, 8);
+            });
+            ctx.ghost(42).len()
+        }) as BodyFn<'_, _, usize>],
+        |ctx, _, outs| {
+            assert_eq!(outs[0], 2);
+            // Finish joins the body's ghost.
+            ctx.ghost(42).len()
+        },
+    );
+    assert_eq!(out.result.unwrap(), 2);
+}
+
+#[test]
+fn step_count_and_peek_are_consistent() {
+    let out = run_model(
+        &Config::default(),
+        random_strategy(1),
+        |ctx| {
+            let before = ctx.step_count();
+            let l = ctx.alloc("x", Val::Int(3));
+            assert_eq!(ctx.step_count(), before + 1);
+            assert_eq!(ctx.peek(l), Val::Int(3));
+            l
+        },
+        Vec::<BodyFn<'_, _, ()>>::new(),
+        |ctx, &l, _| {
+            ctx.write(l, Val::Int(4), Mode::Relaxed);
+            ctx.peek(l)
+        },
+    );
+    let steps_reported = out.steps;
+    assert_eq!(out.result.unwrap(), Val::Int(4));
+    assert!(steps_reported >= 2);
+}
+
+#[test]
+fn zero_body_programs_work() {
+    let out = run_model(
+        &Config::default(),
+        random_strategy(0),
+        |_ctx| 5i32,
+        Vec::<BodyFn<'_, _, ()>>::new(),
+        |_, &s, outs| {
+            assert!(outs.is_empty());
+            s * 2
+        },
+    );
+    assert_eq!(out.result.unwrap(), 10);
+}

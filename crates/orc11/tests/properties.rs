@@ -1,0 +1,151 @@
+//! Property-based tests for the substrate's algebraic structures and
+//! strategies.
+
+use proptest::prelude::*;
+
+use orc11::{pct_strategy, random_strategy, GhostView, Loc, VecClock, View};
+
+fn view_strategy() -> impl Strategy<Value = View> {
+    prop::collection::vec((0u32..8, 0u64..20), 0..10).prop_map(|entries| {
+        let mut v = View::new();
+        for (l, t) in entries {
+            v.bump(Loc::from_raw(l), t);
+        }
+        v
+    })
+}
+
+fn vc_strategy() -> impl Strategy<Value = VecClock> {
+    prop::collection::vec(0u64..20, 0..6).prop_map(|cs| {
+        let mut vc = VecClock::new();
+        for (t, c) in cs.into_iter().enumerate() {
+            vc.bump(t, c);
+        }
+        vc
+    })
+}
+
+fn ghost_strategy() -> impl Strategy<Value = GhostView> {
+    prop::collection::vec((0u64..4, 0u64..30), 0..12).prop_map(|entries| {
+        let mut g = GhostView::new();
+        for (k, id) in entries {
+            g.insert(k, id);
+        }
+        g
+    })
+}
+
+proptest! {
+    #[test]
+    fn view_join_is_commutative(a in view_strategy(), b in view_strategy()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn view_join_is_associative(
+        a in view_strategy(), b in view_strategy(), c in view_strategy()
+    ) {
+        let mut left = a.clone();
+        left.join(&b);
+        left.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut right = a.clone();
+        right.join(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn view_join_is_idempotent_and_upper_bound(a in view_strategy(), b in view_strategy()) {
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(&aa, &a);
+        let mut j = a.clone();
+        j.join(&b);
+        prop_assert!(a.leq(&j));
+        prop_assert!(b.leq(&j));
+    }
+
+    #[test]
+    fn view_leq_is_antisymmetric(a in view_strategy(), b in view_strategy()) {
+        if a.leq(&b) && b.leq(&a) {
+            prop_assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn vc_lattice_laws(a in vc_strategy(), b in vc_strategy(), c in vc_strategy()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(a.leq(&ab) && b.leq(&ab));
+        let mut abc1 = ab.clone();
+        abc1.join(&c);
+        let mut bc = b.clone();
+        bc.join(&c);
+        let mut abc2 = a.clone();
+        abc2.join(&bc);
+        prop_assert_eq!(abc1, abc2);
+    }
+
+    #[test]
+    fn ghost_lattice_laws(a in ghost_strategy(), b in ghost_strategy()) {
+        let mut ab = a.clone();
+        ab.join(&b);
+        let mut ba = b.clone();
+        ba.join(&a);
+        prop_assert_eq!(&ab, &ba);
+        prop_assert!(a.leq(&ab));
+        prop_assert!(b.leq(&ab));
+        let mut aa = a.clone();
+        aa.join(&a);
+        prop_assert_eq!(aa, a);
+    }
+
+    #[test]
+    fn strategies_stay_in_range(seed in 0u64..1000, arity in 2usize..8) {
+        use orc11::ChoiceKind;
+        let mut r = random_strategy(seed);
+        let mut p = pct_strategy(seed, 3, 100);
+        for _ in 0..50 {
+            prop_assert!(r.choose(ChoiceKind::Read, arity) < arity);
+            prop_assert!(p.choose(ChoiceKind::Read, arity) < arity);
+        }
+        let candidates: Vec<usize> = (1..=arity).collect();
+        for _ in 0..50 {
+            prop_assert!(p.choose_thread(&candidates) < arity);
+        }
+    }
+}
+
+/// PCT must be deterministic per seed (replayable exploration).
+#[test]
+fn pct_is_deterministic_per_seed() {
+    let candidates: Vec<usize> = vec![1, 2, 3];
+    let run = |seed: u64| -> Vec<usize> {
+        let mut s = pct_strategy(seed, 2, 50);
+        (0..100).map(|_| s.choose_thread(&candidates)).collect()
+    };
+    assert_eq!(run(7), run(7));
+    // And different seeds should (almost surely) differ somewhere.
+    assert_ne!(run(7), run(8));
+}
+
+/// PCT prefers the highest-priority thread consistently between change
+/// points (it is not uniform).
+#[test]
+fn pct_is_priority_stable() {
+    let mut s = orc11::PctStrategy::new(42, 0, 100);
+    use orc11::Strategy;
+    let candidates: Vec<usize> = vec![1, 2, 3, 4];
+    let first = s.choose_thread(&candidates);
+    for _ in 0..50 {
+        assert_eq!(s.choose_thread(&candidates), first);
+    }
+}

@@ -1,0 +1,675 @@
+//! Deliberately weakened implementations — negative tests for the
+//! checkers.
+//!
+//! Each variant removes synchronization the paper's proofs rely on, and
+//! each has a consistency clause that catches it on explored executions:
+//!
+//! | Variant | Weakening | Caught by |
+//! |---|---|---|
+//! | [`RelaxedMsQueue`] | all atomics relaxed | `QUEUE-SO-LHB` (a dequeue no longer happens-after its enqueue) |
+//! | [`RelaxedHwQueue`] | tail FAA / tail read relaxed | `QUEUE-FIFO` (a dequeuer can miss an older, externally-ordered enqueue) |
+//! | [`RelaxedTreiber`] | all atomics relaxed | `STACK-SO-LHB` and friends |
+//! | [`SplitExchanger`] | helper commits the pair in two instructions | `EXCHANGER-ATOMIC-PAIRS` (observable intermediate state) |
+//! | [`QueueAsStack`] | delivers in FIFO order (perfectly synchronized!) | `STACK-LIFO` — a pure ordering bug, no memory-model defect at all |
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use compass::exchanger_spec::ExchangeEvent;
+use compass::queue_spec::QueueEvent;
+use compass::stack_spec::StackEvent;
+use compass::{EventId, LibObj};
+use orc11::{Loc, Mode, ThreadCtx, Val};
+
+use crate::check_element;
+use crate::queue::{HwQueue, ModelQueue};
+
+const VAL: u32 = 0;
+const NEXT: u32 = 1;
+const RESP: u32 = 1;
+
+/// A Michael-Scott queue with **all atomics relaxed** (node fields are
+/// atomic so the weakening shows up as spec violations, not data races).
+#[derive(Debug)]
+pub struct RelaxedMsQueue {
+    head: Loc,
+    tail: Loc,
+    obj: LibObj<QueueEvent>,
+    enq_events: Mutex<HashMap<Loc, EventId>>,
+}
+
+impl RelaxedMsQueue {
+    /// Allocates an empty queue.
+    pub fn new(ctx: &mut ThreadCtx) -> Self {
+        let sentinel = ctx.alloc_block_atomic("rms.sentinel", &[Val::Null, Val::Null]);
+        RelaxedMsQueue {
+            head: ctx.alloc_atomic("rms.head", Val::Loc(sentinel)),
+            tail: ctx.alloc_atomic("rms.tail", Val::Loc(sentinel)),
+            obj: LibObj::new("relaxed-ms-queue"),
+            enq_events: Mutex::new(HashMap::new()),
+        }
+    }
+}
+
+impl ModelQueue for RelaxedMsQueue {
+    fn enqueue(&self, ctx: &mut ThreadCtx, v: Val) -> EventId {
+        check_element(v);
+        let node = ctx.alloc_block_atomic("rms.node", &[v, Val::Null]);
+        loop {
+            let tail = ctx.read(self.tail, Mode::Relaxed).expect_loc();
+            let next = ctx.read(tail.field(NEXT), Mode::Relaxed);
+            if let Some(succ) = next.as_loc() {
+                let _ = ctx.cas(
+                    self.tail,
+                    Val::Loc(tail),
+                    Val::Loc(succ),
+                    Mode::Relaxed,
+                    Mode::Relaxed,
+                );
+                continue;
+            }
+            let (res, ev) = ctx.cas_with(
+                tail.field(NEXT),
+                Val::Null,
+                Val::Loc(node),
+                Mode::Relaxed,
+                Mode::Relaxed,
+                |r, gh| {
+                    r.new.is_some().then(|| {
+                        let id = self.obj.commit(gh, QueueEvent::Enq(v));
+                        self.enq_events.lock().insert(node, id);
+                        id
+                    })
+                },
+            );
+            if res.is_ok() {
+                let _ = ctx.cas(
+                    self.tail,
+                    Val::Loc(tail),
+                    Val::Loc(node),
+                    Mode::Relaxed,
+                    Mode::Relaxed,
+                );
+                return ev.expect("committed");
+            }
+        }
+    }
+
+    fn try_dequeue(&self, ctx: &mut ThreadCtx) -> (Option<Val>, EventId) {
+        loop {
+            let head = ctx.read(self.head, Mode::Relaxed).expect_loc();
+            let (next, emp) = ctx.read_with(head.field(NEXT), Mode::Relaxed, |v, gh| {
+                v.is_null().then(|| self.obj.commit(gh, QueueEvent::EmpDeq))
+            });
+            if let Some(ev) = emp {
+                return (None, ev);
+            }
+            let node = next.expect_loc();
+            let v = ctx.read(node.field(VAL), Mode::Relaxed);
+            let source = *self.enq_events.lock().get(&node).expect("published node");
+            let (res, ev) = ctx.cas_with(
+                self.head,
+                Val::Loc(head),
+                Val::Loc(node),
+                Mode::Relaxed,
+                Mode::Relaxed,
+                |r, gh| {
+                    r.new
+                        .is_some()
+                        .then(|| self.obj.commit_matched(gh, QueueEvent::Deq(v), source))
+                },
+            );
+            if res.is_ok() {
+                return (Some(v), ev.expect("committed"));
+            }
+        }
+    }
+
+    fn obj(&self) -> &LibObj<QueueEvent> {
+        &self.obj
+    }
+}
+
+/// A Herlihy-Wing queue whose tail operations are relaxed: the dequeuer's
+/// scan range no longer synchronizes with earlier enqueues, so it can skip
+/// an older (externally hb-ordered) enqueue's slot — a QUEUE-FIFO
+/// violation.
+#[derive(Debug)]
+pub struct RelaxedHwQueue(HwQueue);
+
+impl RelaxedHwQueue {
+    /// Allocates an empty queue of the given capacity.
+    pub fn new(ctx: &mut ThreadCtx, capacity: u32) -> Self {
+        RelaxedHwQueue(HwQueue::with_tail_modes(
+            ctx,
+            capacity,
+            Mode::Relaxed,
+            Mode::Relaxed,
+        ))
+    }
+}
+
+impl ModelQueue for RelaxedHwQueue {
+    fn enqueue(&self, ctx: &mut ThreadCtx, v: Val) -> EventId {
+        self.0.enqueue(ctx, v)
+    }
+
+    fn try_dequeue(&self, ctx: &mut ThreadCtx) -> (Option<Val>, EventId) {
+        self.0.try_dequeue(ctx)
+    }
+
+    fn obj(&self) -> &LibObj<QueueEvent> {
+        self.0.obj()
+    }
+}
+
+/// A Treiber stack with **all atomics relaxed**.
+#[derive(Debug)]
+pub struct RelaxedTreiber {
+    head: Loc,
+    obj: LibObj<StackEvent>,
+    push_events: Mutex<HashMap<Loc, EventId>>,
+}
+
+impl RelaxedTreiber {
+    /// Allocates an empty stack.
+    pub fn new(ctx: &mut ThreadCtx) -> Self {
+        RelaxedTreiber {
+            head: ctx.alloc_atomic("rtreiber.head", Val::Null),
+            obj: LibObj::new("relaxed-treiber"),
+            push_events: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Pushes `v` (relaxed CAS — no release).
+    pub fn push(&self, ctx: &mut ThreadCtx, v: Val) -> EventId {
+        check_element(v);
+        let node = ctx.alloc_block_atomic("rtreiber.node", &[v, Val::Null]);
+        loop {
+            let h = ctx.read(self.head, Mode::Relaxed);
+            ctx.write(node.field(NEXT), h, Mode::Relaxed);
+            let (res, ev) = ctx.cas_with(
+                self.head,
+                h,
+                Val::Loc(node),
+                Mode::Relaxed,
+                Mode::Relaxed,
+                |r, gh| {
+                    r.new.is_some().then(|| {
+                        let id = self.obj.commit(gh, StackEvent::Push(v));
+                        self.push_events.lock().insert(node, id);
+                        id
+                    })
+                },
+            );
+            if res.is_ok() {
+                return ev.expect("committed");
+            }
+        }
+    }
+
+    /// Attempts one pop (relaxed CAS — no acquire).
+    pub fn try_pop(&self, ctx: &mut ThreadCtx) -> (Option<Val>, EventId) {
+        loop {
+            let (h, emp) = ctx.read_with(self.head, Mode::Relaxed, |v, gh| {
+                v.is_null().then(|| self.obj.commit(gh, StackEvent::EmpPop))
+            });
+            if let Some(ev) = emp {
+                return (None, ev);
+            }
+            let node = h.expect_loc();
+            let v = ctx.read(node.field(VAL), Mode::Relaxed);
+            let next = ctx.read(node.field(NEXT), Mode::Relaxed);
+            let source = *self.push_events.lock().get(&node).expect("published node");
+            let (res, ev) = ctx.cas_with(
+                self.head,
+                h,
+                next,
+                Mode::Relaxed,
+                Mode::Relaxed,
+                |r, gh| {
+                    r.new
+                        .is_some()
+                        .then(|| self.obj.commit_matched(gh, StackEvent::Pop(v), source))
+                },
+            );
+            if res.is_ok() {
+                return (Some(v), ev.expect("committed"));
+            }
+        }
+    }
+
+    /// The stack's library object.
+    pub fn obj(&self) -> &LibObj<StackEvent> {
+        &self.obj
+    }
+}
+
+/// An exchanger whose helper commits the two events of a matched pair in
+/// **two separate instructions** — the intermediate state (helpee
+/// committed, helper not) is observable, violating the atomic-helping
+/// discipline of §4.2.
+#[derive(Debug)]
+pub struct SplitExchanger {
+    slot: Loc,
+    obj: LibObj<ExchangeEvent>,
+    offer_tids: Mutex<HashMap<Loc, orc11::ThreadId>>,
+    pair_events: Mutex<HashMap<Loc, (EventId, EventId)>>,
+}
+
+impl SplitExchanger {
+    /// Allocates the exchanger.
+    pub fn new(ctx: &mut ThreadCtx) -> Self {
+        SplitExchanger {
+            slot: ctx.alloc_atomic("sxchg.slot", Val::Null),
+            obj: LibObj::new("split-exchanger"),
+            offer_tids: Mutex::new(HashMap::new()),
+            pair_events: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The exchanger's library object.
+    pub fn obj(&self) -> &LibObj<ExchangeEvent> {
+        &self.obj
+    }
+
+    /// Attempts one exchange (same protocol as the correct exchanger, but
+    /// with the split commit).
+    pub fn exchange(&self, ctx: &mut ThreadCtx, v: Val, patience: u32) -> (Option<Val>, EventId) {
+        assert!(!v.is_null(), "cannot offer ⊥");
+        let node = ctx.alloc_block_atomic("sxchg.offer", &[v, Val::Null]);
+        self.offer_tids.lock().insert(node, ctx.tid());
+        let install = ctx.cas(
+            self.slot,
+            Val::Null,
+            Val::Loc(node),
+            Mode::Release,
+            Mode::Acquire,
+        );
+        match install {
+            Ok(_) => {
+                for _ in 0..patience {
+                    let r = ctx.read(node.field(RESP), Mode::Acquire);
+                    if !r.is_null() {
+                        let (e1, _) = self.pair_events.lock()[&node];
+                        return (Some(r), e1);
+                    }
+                }
+                let (res, ev) = ctx.cas_with(
+                    node.field(RESP),
+                    Val::Null,
+                    crate::exchanger::CANCELLED,
+                    Mode::AcqRel,
+                    Mode::Acquire,
+                    |r, gh| {
+                        r.new
+                            .is_some()
+                            .then(|| self.obj.commit(gh, ExchangeEvent { give: v, got: None }))
+                    },
+                );
+                match res {
+                    Ok(_) => (None, ev.expect("committed")),
+                    Err(partner) => {
+                        let (e1, _) = self.pair_events.lock()[&node];
+                        (Some(partner), e1)
+                    }
+                }
+            }
+            Err(cur) => {
+                if let Some(offer) = cur.as_loc() {
+                    let their_v = ctx.read(offer.field(VAL), Mode::Relaxed);
+                    let their_tid = *self.offer_tids.lock().get(&offer).expect("offer");
+                    // BUG: first instruction commits only the helpee's
+                    // event...
+                    let (res, e1) = ctx.cas_with(
+                        offer.field(RESP),
+                        Val::Null,
+                        v,
+                        Mode::AcqRel,
+                        Mode::Acquire,
+                        |r, gh| {
+                            r.new.is_some().then(|| {
+                                let e1 = self.obj.commit_as(
+                                    gh,
+                                    their_tid,
+                                    ExchangeEvent {
+                                        give: their_v,
+                                        got: Some(v),
+                                    },
+                                );
+                                // Provisional entry so the helpee can find
+                                // its event in the (observable!)
+                                // intermediate state.
+                                self.pair_events.lock().insert(offer, (e1, e1));
+                                e1
+                            })
+                        },
+                    );
+                    if res.is_ok() {
+                        let e1 = e1.expect("committed");
+                        // ...and a second, separate instruction commits the
+                        // helper's event and the so edges.
+                        let (_, e2) = ctx.read_with(self.slot, Mode::Relaxed, |_, gh| {
+                            let e2 = self.obj.commit(
+                                gh,
+                                ExchangeEvent {
+                                    give: v,
+                                    got: Some(their_v),
+                                },
+                            );
+                            let mut g = self.obj.graph();
+                            g.add_so(e1, e2);
+                            g.add_so(e2, e1);
+                            e2
+                        });
+                        self.pair_events.lock().insert(offer, (e1, e2));
+                        let _ = ctx.cas(
+                            self.slot,
+                            Val::Loc(offer),
+                            Val::Null,
+                            Mode::Relaxed,
+                            Mode::Relaxed,
+                        );
+                        return (Some(their_v), e2);
+                    }
+                }
+                let (_, ev) = ctx.read_with(self.slot, Mode::Acquire, |_, gh| {
+                    self.obj.commit(gh, ExchangeEvent { give: v, got: None })
+                });
+                (None, ev)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass::exchanger_spec::check_exchanger_consistent;
+    use compass::queue_spec::check_queue_consistent;
+    use compass::stack_spec::check_stack_consistent;
+    use orc11::{random_strategy, run_model, BodyFn, Config};
+
+    #[test]
+    fn relaxed_ms_queue_violates_so_lhb() {
+        let mut rules = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| RelaxedMsQueue::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
+                        q.enqueue(ctx, Val::Int(1));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, q, _| check_queue_consistent(&q.obj().snapshot()).err(),
+            );
+            if let Some(v) = out.result.unwrap() {
+                rules.insert(v.rule);
+            }
+        }
+        assert!(
+            rules.contains("QUEUE-SO-LHB"),
+            "expected QUEUE-SO-LHB violations; got {rules:?}"
+        );
+    }
+
+    #[test]
+    fn relaxed_hw_queue_violates_fifo() {
+        let mut rules = std::collections::BTreeSet::new();
+        for seed in 0..400 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| {
+                    let q = RelaxedHwQueue::new(ctx, 4);
+                    let flag = ctx.alloc("flag", Val::Int(0));
+                    (q, flag)
+                },
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, (q, flag): &(RelaxedHwQueue, Loc)| {
+                        q.enqueue(ctx, Val::Int(10));
+                        ctx.write(*flag, Val::Int(1), Mode::Release);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, (q, flag): &(RelaxedHwQueue, Loc)| {
+                        ctx.read_await(*flag, Mode::Acquire, |v| v == Val::Int(1));
+                        q.enqueue(ctx, Val::Int(20));
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, (q, _): &(RelaxedHwQueue, Loc)| {
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, (q, _), _| check_queue_consistent(&q.obj().snapshot()).err(),
+            );
+            if let Some(v) = out.result.unwrap() {
+                rules.insert(v.rule);
+            }
+        }
+        assert!(
+            rules.contains("QUEUE-FIFO"),
+            "expected QUEUE-FIFO violations; got {rules:?}"
+        );
+    }
+
+    #[test]
+    fn strong_hw_queue_passes_same_workload() {
+        // Control: the properly synchronized HwQueue on the FIFO workload.
+        for seed in 0..400 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| {
+                    let q = HwQueue::new(ctx, 4);
+                    let flag = ctx.alloc("flag", Val::Int(0));
+                    (q, flag)
+                },
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, (q, flag): &(HwQueue, Loc)| {
+                        q.enqueue(ctx, Val::Int(10));
+                        ctx.write(*flag, Val::Int(1), Mode::Release);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, (q, flag): &(HwQueue, Loc)| {
+                        ctx.read_await(*flag, Mode::Acquire, |v| v == Val::Int(1));
+                        q.enqueue(ctx, Val::Int(20));
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, (q, _): &(HwQueue, Loc)| {
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, (q, _), _| {
+                    check_queue_consistent(&q.obj().snapshot()).expect("QueueConsistent")
+                },
+            );
+            out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn relaxed_treiber_violates_stack_consistency() {
+        let mut violations = 0;
+        for seed in 0..200 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| RelaxedTreiber::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, s: &RelaxedTreiber| {
+                        s.push(ctx, Val::Int(1));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, s: &RelaxedTreiber| {
+                        s.try_pop(ctx);
+                    }),
+                ],
+                |_, s, _| check_stack_consistent(&s.obj().snapshot()).err(),
+            );
+            if out.result.unwrap().is_some() {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "expected stack consistency violations");
+    }
+
+    #[test]
+    fn split_exchanger_violates_atomic_pairs() {
+        let mut rules = std::collections::BTreeSet::new();
+        for seed in 0..200 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| SplitExchanger::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, x: &SplitExchanger| {
+                        x.exchange(ctx, Val::Int(1), 3);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, x: &SplitExchanger| {
+                        x.exchange(ctx, Val::Int(2), 3);
+                    }),
+                ],
+                |_, x, _| check_exchanger_consistent(&x.obj().snapshot()).err(),
+            );
+            if let Some(v) = out.result.unwrap() {
+                rules.insert(v.rule);
+            }
+        }
+        assert!(
+            rules.contains("EXCHANGER-ATOMIC-PAIRS"),
+            "expected EXCHANGER-ATOMIC-PAIRS violations; got {rules:?}"
+        );
+    }
+}
+
+/// A "stack" that delivers elements in FIFO order (it is a queue wearing a
+/// stack's event vocabulary) — the order bug `STACK-LIFO` exists to catch.
+///
+/// Internally a lock-protected linked queue; perfectly synchronized, so
+/// the *only* defect is the ordering semantics.
+#[derive(Debug)]
+pub struct QueueAsStack {
+    lock: crate::lock::SpinLock,
+    head: Loc,
+    tail: Loc,
+    obj: LibObj<StackEvent>,
+    push_events: Mutex<HashMap<Loc, EventId>>,
+}
+
+impl QueueAsStack {
+    /// Allocates the impostor.
+    pub fn new(ctx: &mut ThreadCtx) -> Self {
+        let sentinel = ctx.alloc_block("qas.sentinel", &[Val::Null, Val::Null]);
+        QueueAsStack {
+            lock: crate::lock::SpinLock::new(ctx),
+            head: ctx.alloc("qas.head", Val::Loc(sentinel)),
+            tail: ctx.alloc("qas.tail", Val::Loc(sentinel)),
+            obj: LibObj::new("queue-as-stack"),
+            push_events: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The object's graph.
+    pub fn obj(&self) -> &LibObj<StackEvent> {
+        &self.obj
+    }
+
+    /// "Pushes" (enqueues) `v`, committing a `Push` event.
+    pub fn push(&self, ctx: &mut ThreadCtx, v: Val) -> EventId {
+        check_element(v);
+        self.lock.with(ctx, |ctx| {
+            let node = ctx.alloc_block("qas.node", &[v, Val::Null]);
+            let tail = ctx.read(self.tail, Mode::NonAtomic).expect_loc();
+            let ev = ctx.write_with(tail.field(NEXT), Val::Loc(node), Mode::NonAtomic, |gh| {
+                let id = self.obj.commit(gh, StackEvent::Push(v));
+                self.push_events.lock().insert(node, id);
+                id
+            });
+            ctx.write(self.tail, Val::Loc(node), Mode::NonAtomic);
+            ev
+        })
+    }
+
+    /// "Pops" — but from the WRONG end (dequeues), committing a `Pop`.
+    pub fn pop(&self, ctx: &mut ThreadCtx) -> (Option<Val>, EventId) {
+        self.lock.with(ctx, |ctx| {
+            let head = ctx.read(self.head, Mode::NonAtomic).expect_loc();
+            let (next, emp) = ctx.read_with(head.field(NEXT), Mode::NonAtomic, |v, gh| {
+                v.is_null().then(|| self.obj.commit(gh, StackEvent::EmpPop))
+            });
+            if let Some(ev) = emp {
+                return (None, ev);
+            }
+            let node = next.expect_loc();
+            let v = ctx.read(node.field(VAL), Mode::NonAtomic);
+            let source = *self.push_events.lock().get(&node).expect("linked node");
+            let ev = ctx.write_with(self.head, Val::Loc(node), Mode::NonAtomic, |gh| {
+                self.obj.commit_matched(gh, StackEvent::Pop(v), source)
+            });
+            (Some(v), ev)
+        })
+    }
+}
+
+#[cfg(test)]
+mod order_tests {
+    use super::*;
+    use compass::history::{check_linearizable, StackInterp};
+    use compass::stack_spec::check_stack_consistent;
+    use orc11::{random_strategy, run_model, BodyFn, Config};
+
+    #[test]
+    fn queue_as_stack_violates_lifo() {
+        // One thread pushes 1, 2 and pops — a real stack returns 2; the
+        // impostor returns 1 and STACK-LIFO fires on every execution of
+        // this shape (the lock makes everything lhb-ordered, so the
+        // violation is deterministic).
+        let out = run_model(
+            &Config::default(),
+            random_strategy(0),
+            |ctx| QueueAsStack::new(ctx),
+            Vec::<BodyFn<'_, _, ()>>::new(),
+            |ctx, s, _| {
+                s.push(ctx, Val::Int(1));
+                s.push(ctx, Val::Int(2));
+                let (v, _) = s.pop(ctx);
+                assert_eq!(v, Some(Val::Int(1)), "it really is a queue");
+                s.obj().snapshot()
+            },
+        );
+        let g = out.result.unwrap();
+        assert_eq!(
+            check_stack_consistent(&g).unwrap_err().rule,
+            "STACK-LIFO"
+        );
+        assert!(check_linearizable(&g, &StackInterp).is_err());
+    }
+
+    #[test]
+    fn queue_as_stack_violates_lifo_concurrently() {
+        let mut violations = 0;
+        for seed in 0..60 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| QueueAsStack::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, s: &QueueAsStack| {
+                        s.push(ctx, Val::Int(1));
+                        s.push(ctx, Val::Int(2));
+                        s.pop(ctx);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, s: &QueueAsStack| {
+                        s.pop(ctx);
+                    }),
+                ],
+                |_, s, _| s.obj().snapshot(),
+            );
+            let g = out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            if check_stack_consistent(&g).is_err() {
+                violations += 1;
+            }
+        }
+        assert!(violations > 0, "LIFO violations should appear");
+    }
+}

@@ -1,0 +1,85 @@
+//! # compass-structures — the paper's libraries, on the model
+//!
+//! Model-level implementations of every data structure the Compass paper
+//! verifies, written against the [`orc11`] memory-model simulator with the
+//! same access modes as the paper's implementations, and instrumented with
+//! ghost commit points so that every execution produces a [`compass`]
+//! event graph:
+//!
+//! * [`queue::MsQueue`] — Michael-Scott queue, purely release/acquire
+//!   (satisfies the `LAT_hb^abs` specs: its commit order is a
+//!   linearization; §3.1–3.2),
+//! * [`queue::HwQueue`] — a relaxed Herlihy-Wing queue (release enqueues,
+//!   acquire dequeues; satisfies the graph-based `LAT_hb` specs but not, in
+//!   general, abstract-state construction at commit points; §3.2),
+//! * [`stack::TreiberStack`] — relaxed Treiber stack (release push CAS,
+//!   acquire pop CAS; satisfies the `LAT_hb^hist` linearizable-history
+//!   specs; §3.3),
+//! * [`exchanger::Exchanger`] — an offer/response exchanger with *helping*:
+//!   a matched pair of exchanges is committed atomically together by the
+//!   helper (§4.2),
+//! * [`stack::ElimStack`] — the elimination stack composing a base Treiber
+//!   stack and an exchanger *without any new atomic instructions*, its
+//!   events built compositionally from theirs (§4.1),
+//! * [`buggy`] — deliberately weakened variants whose executions violate
+//!   specific consistency clauses (negative tests for the checkers).
+//!
+//! [`clients`] contains the paper's client programs (the Message-Passing
+//! client of Figure 1/3 and the SPSC client of §3.2) as reusable model
+//! programs.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod buggy;
+pub mod clients;
+pub mod deque;
+pub mod exchanger;
+pub mod lock;
+pub mod queue;
+pub mod stack;
+
+use orc11::Val;
+
+/// Sentinel marking a "pop" offer in the elimination machinery (§4.1).
+/// Client values must differ from it.
+pub const SENTINEL: Val = Val::Int(i64::MAX - 1);
+
+/// Slot marker for "element taken" in the Herlihy-Wing queue. Client
+/// values must differ from it.
+pub const TAKEN: Val = Val::Int(i64::MIN + 1);
+
+/// Validates that `v` is usable as a data-structure element.
+///
+/// # Panics
+///
+/// Panics if `v` is null or collides with a reserved marker.
+pub fn check_element(v: Val) {
+    assert!(!v.is_null(), "Null is not a valid element");
+    assert_ne!(v, SENTINEL, "SENTINEL is reserved");
+    assert_ne!(v, TAKEN, "TAKEN is reserved");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reserved_values_distinct() {
+        assert_ne!(SENTINEL, TAKEN);
+        check_element(Val::Int(0));
+        check_element(Val::Int(-5));
+    }
+
+    #[test]
+    #[should_panic(expected = "Null")]
+    fn null_element_rejected() {
+        check_element(Val::Null);
+    }
+
+    #[test]
+    #[should_panic(expected = "SENTINEL")]
+    fn sentinel_element_rejected() {
+        check_element(SENTINEL);
+    }
+}

@@ -1,0 +1,259 @@
+//! The Michael-Scott queue, purely release/acquire.
+//!
+//! This is the implementation the paper verifies against the strong
+//! `LAT_hb^abs` specs (§3.2): "a purely release-acquire implementation of
+//! the Michael-Scott queue satisfies the `LAT_hb^abs` specs for queues".
+//! All atomic reads are acquire, all atomic writes are release, and RMWs
+//! are acquire-release, which is enough synchronization to construct the
+//! abstract state at the commit points — checkable here as
+//! [`compass::abs::replay_commit_order`] succeeding on every execution.
+//!
+//! Commit points:
+//! * **enqueue** — the successful release CAS linking the new node into
+//!   `tail.next`;
+//! * **dequeue** — the successful acquire-release CAS swinging `head`;
+//! * **empty dequeue** — the acquire read of `head.next` that returned
+//!   null.
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use compass::queue_spec::QueueEvent;
+use compass::{EventId, LibObj};
+use orc11::{Loc, Mode, ThreadCtx, Val};
+
+use super::ModelQueue;
+use crate::check_element;
+
+const VAL: u32 = 0;
+const NEXT: u32 = 1;
+
+/// A Michael-Scott queue on the model (see module docs).
+#[derive(Debug)]
+pub struct MsQueue {
+    head: Loc,
+    tail: Loc,
+    obj: LibObj<QueueEvent>,
+    /// Ghost map: node → the enqueue event that published it.
+    enq_events: Mutex<HashMap<Loc, EventId>>,
+}
+
+impl MsQueue {
+    /// Allocates an empty queue (one sentinel node).
+    pub fn new(ctx: &mut ThreadCtx) -> Self {
+        let sentinel = ctx.alloc_block("ms.sentinel", &[Val::Null, Val::Null]);
+        let head = ctx.alloc("ms.head", Val::Loc(sentinel));
+        let tail = ctx.alloc("ms.tail", Val::Loc(sentinel));
+        MsQueue {
+            head,
+            tail,
+            obj: LibObj::new("ms-queue"),
+            enq_events: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Dequeues, blocking (in model terms) until an element is available.
+    ///
+    /// Intended for low-contention consumers (e.g. the single consumer of
+    /// the SPSC client, §3.2) — under multi-consumer contention prefer
+    /// [`ModelQueue::try_dequeue`] in a retry loop.
+    pub fn dequeue_await(&self, ctx: &mut ThreadCtx) -> (Val, EventId) {
+        loop {
+            let head = ctx.read(self.head, Mode::Acquire).expect_loc();
+            // Block until this node has a successor.
+            let next = ctx.read_await(head.field(NEXT), Mode::Acquire, |v| !v.is_null());
+            let node = next.expect_loc();
+            let v = ctx.read(node.field(VAL), Mode::NonAtomic);
+            let source = self.enq_event_of(node);
+            let (res, ev) = ctx.cas_with(
+                self.head,
+                Val::Loc(head),
+                Val::Loc(node),
+                Mode::AcqRel,
+                Mode::Acquire,
+                |r, gh| {
+                    r.new
+                        .is_some()
+                        .then(|| self.obj.commit_matched(gh, QueueEvent::Deq(v), source))
+                },
+            );
+            if res.is_ok() {
+                return (v, ev.expect("successful dequeue committed"));
+            }
+        }
+    }
+
+    fn enq_event_of(&self, node: Loc) -> EventId {
+        *self
+            .enq_events
+            .lock()
+            .get(&node)
+            .expect("published node has a recorded enqueue event")
+    }
+}
+
+impl ModelQueue for MsQueue {
+    fn enqueue(&self, ctx: &mut ThreadCtx, v: Val) -> EventId {
+        check_element(v);
+        let node = ctx.alloc_block("ms.node", &[v, Val::Null]);
+        loop {
+            let tail = ctx.read(self.tail, Mode::Acquire).expect_loc();
+            let next = ctx.read(tail.field(NEXT), Mode::Acquire);
+            if let Some(succ) = next.as_loc() {
+                // Tail is lagging: help swing it and retry.
+                let _ = ctx.cas(
+                    self.tail,
+                    Val::Loc(tail),
+                    Val::Loc(succ),
+                    Mode::Release,
+                    Mode::Relaxed,
+                );
+                continue;
+            }
+            // Commit point: the release CAS linking the node.
+            let (res, ev) = ctx.cas_with(
+                tail.field(NEXT),
+                Val::Null,
+                Val::Loc(node),
+                Mode::Release,
+                Mode::Relaxed,
+                |r, gh| {
+                    r.new.is_some().then(|| {
+                        let id = self.obj.commit(gh, QueueEvent::Enq(v));
+                        self.enq_events.lock().insert(node, id);
+                        id
+                    })
+                },
+            );
+            if res.is_ok() {
+                // Swing tail (best effort).
+                let _ = ctx.cas(
+                    self.tail,
+                    Val::Loc(tail),
+                    Val::Loc(node),
+                    Mode::Release,
+                    Mode::Relaxed,
+                );
+                return ev.expect("successful link committed");
+            }
+        }
+    }
+
+    fn try_dequeue(&self, ctx: &mut ThreadCtx) -> (Option<Val>, EventId) {
+        loop {
+            let head = ctx.read(self.head, Mode::Acquire).expect_loc();
+            // Commit point of the empty case: this acquire read seeing null.
+            let (next, emp) = ctx.read_with(head.field(NEXT), Mode::Acquire, |v, gh| {
+                v.is_null().then(|| self.obj.commit(gh, QueueEvent::EmpDeq))
+            });
+            if let Some(ev) = emp {
+                return (None, ev);
+            }
+            let node = next.expect_loc();
+            let v = ctx.read(node.field(VAL), Mode::NonAtomic);
+            let source = self.enq_event_of(node);
+            let (res, ev) = ctx.cas_with(
+                self.head,
+                Val::Loc(head),
+                Val::Loc(node),
+                Mode::AcqRel,
+                Mode::Acquire,
+                |r, gh| {
+                    r.new
+                        .is_some()
+                        .then(|| self.obj.commit_matched(gh, QueueEvent::Deq(v), source))
+                },
+            );
+            if res.is_ok() {
+                return (Some(v), ev.expect("successful dequeue committed"));
+            }
+        }
+    }
+
+    fn obj(&self) -> &LibObj<QueueEvent> {
+        &self.obj
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass::abs::replay_commit_order;
+    use compass::history::QueueInterp;
+    use compass::queue_spec::check_queue_consistent;
+    use orc11::{random_strategy, run_model, BodyFn, Config};
+
+    #[test]
+    fn sequential_fifo() {
+        let out = run_model(
+            &Config::default(),
+            random_strategy(0),
+            |ctx| MsQueue::new(ctx),
+            Vec::<BodyFn<'_, _, ()>>::new(),
+            |ctx, q, _| {
+                q.enqueue(ctx, Val::Int(1));
+                q.enqueue(ctx, Val::Int(2));
+                assert_eq!(q.try_dequeue(ctx).0, Some(Val::Int(1)));
+                assert_eq!(q.try_dequeue(ctx).0, Some(Val::Int(2)));
+                assert_eq!(q.try_dequeue(ctx).0, None);
+                let g = q.obj().snapshot();
+                check_queue_consistent(&g).unwrap();
+                replay_commit_order(&g, &QueueInterp).unwrap();
+                g.len()
+            },
+        );
+        assert_eq!(out.result.unwrap(), 5);
+    }
+
+    #[test]
+    fn concurrent_producers_consumers_are_consistent() {
+        for seed in 0..60 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| MsQueue::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                        q.enqueue(ctx, Val::Int(10));
+                        q.enqueue(ctx, Val::Int(11));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                        q.enqueue(ctx, Val::Int(20));
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                        q.try_dequeue(ctx);
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, q, _| {
+                    let g = q.obj().snapshot();
+                    check_queue_consistent(&g).expect("QueueConsistent");
+                    // LAT_hb^abs: the commit order is a linearization.
+                    replay_commit_order(&g, &QueueInterp).expect("abs replay");
+                },
+            );
+            out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+        }
+    }
+
+    #[test]
+    fn dequeue_await_blocks_until_enqueue() {
+        let out = run_model(
+            &Config::default(),
+            random_strategy(3),
+            |ctx| MsQueue::new(ctx),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                    q.enqueue(ctx, Val::Int(7));
+                    Val::Null
+                }) as BodyFn<'_, _, _>,
+                Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| q.dequeue_await(ctx).0),
+            ],
+            |_, q, outs| {
+                check_queue_consistent(&q.obj().snapshot()).unwrap();
+                outs[1]
+            },
+        );
+        assert_eq!(out.result.unwrap(), Val::Int(7));
+    }
+}

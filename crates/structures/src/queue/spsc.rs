@@ -1,0 +1,220 @@
+//! A bounded single-producer single-consumer ring buffer.
+//!
+//! This is the shape of structure Cosmo was demonstrated on (Mével &
+//! Jourdan, ICFP 2021, cited in §1 of the paper): a bounded queue whose
+//! producer and consumer synchronize purely through the release/acquire
+//! handoff of two counters — the buffer slots themselves are
+//! **non-atomic**, their race-freedom being exactly the view transfer the
+//! `LAT_so^abs` specs capture.
+//!
+//! Commit points: the producer's release store of `tail` (enqueue), the
+//! consumer's release store of `head` (dequeue), and the consumer's
+//! acquire read of `tail` that observed emptiness (empty dequeue).
+
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+use compass::queue_spec::QueueEvent;
+use compass::{EventId, LibObj};
+use orc11::{Loc, Mode, ThreadCtx, Val};
+
+use crate::check_element;
+
+/// A bounded SPSC ring buffer on the model (see module docs).
+///
+/// The single-producer/single-consumer discipline is the caller's
+/// contract (as in the real structure); violating it shows up as model
+/// data races on the non-atomic slots.
+#[derive(Debug)]
+pub struct SpscRing {
+    head: Loc,
+    tail: Loc,
+    buf: Loc,
+    capacity: i64,
+    obj: LibObj<QueueEvent>,
+    enq_events: Mutex<HashMap<i64, EventId>>,
+}
+
+impl SpscRing {
+    /// Allocates an empty ring of the given capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(ctx: &mut ThreadCtx, capacity: u32) -> Self {
+        assert!(capacity > 0, "capacity must be positive");
+        let inits = vec![Val::Null; capacity as usize];
+        SpscRing {
+            head: ctx.alloc_atomic("spsc.head", Val::Int(0)),
+            tail: ctx.alloc_atomic("spsc.tail", Val::Int(0)),
+            buf: ctx.alloc_block("spsc.buf", &inits),
+            capacity: capacity as i64,
+            obj: LibObj::new("spsc-ring"),
+            enq_events: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The ring's library object.
+    pub fn obj(&self) -> &LibObj<QueueEvent> {
+        &self.obj
+    }
+
+    fn slot(&self, i: i64) -> Loc {
+        self.buf.field((i % self.capacity) as u32)
+    }
+
+    /// Producer only: tries to enqueue `v`.
+    ///
+    /// # Errors
+    ///
+    /// Returns `Err(v)` (no event) if the ring is full.
+    pub fn try_enqueue(&self, ctx: &mut ThreadCtx, v: Val) -> Result<EventId, Val> {
+        check_element(v);
+        let t = ctx.read(self.tail, Mode::Relaxed).expect_int();
+        // Acquire: we must see the consumer's head advance before reusing
+        // a slot (and with it the consumer's last read of that slot, so
+        // our non-atomic overwrite is race-free).
+        let h = ctx.read(self.head, Mode::Acquire).expect_int();
+        if t - h == self.capacity {
+            return Err(v);
+        }
+        ctx.write(self.slot(t), v, Mode::NonAtomic);
+        let ev = ctx.write_with(self.tail, Val::Int(t + 1), Mode::Release, |gh| {
+            let id = self.obj.commit(gh, QueueEvent::Enq(v));
+            self.enq_events.lock().insert(t, id);
+            id
+        });
+        Ok(ev)
+    }
+
+    /// Consumer only: tries to dequeue.
+    pub fn try_dequeue(&self, ctx: &mut ThreadCtx) -> (Option<Val>, EventId) {
+        let h = ctx.read(self.head, Mode::Relaxed).expect_int();
+        // Commit point of the empty case: this acquire read of tail.
+        let (t_val, emp) = ctx.read_with(self.tail, Mode::Acquire, |t, gh| {
+            (t.expect_int() == h).then(|| self.obj.commit(gh, QueueEvent::EmpDeq))
+        });
+        if let Some(ev) = emp {
+            return (None, ev);
+        }
+        debug_assert!(t_val.expect_int() > h);
+        let v = ctx.read(self.slot(h), Mode::NonAtomic);
+        let source = *self.enq_events.lock().get(&h).expect("occupied slot");
+        let ev = ctx.write_with(self.head, Val::Int(h + 1), Mode::Release, |gh| {
+            self.obj.commit_matched(gh, QueueEvent::Deq(v), source)
+        });
+        (Some(v), ev)
+    }
+
+    /// Consumer only: dequeues, blocking (in model terms) until an
+    /// element is available.
+    pub fn dequeue_await(&self, ctx: &mut ThreadCtx) -> (Val, EventId) {
+        let h = ctx.read(self.head, Mode::Relaxed).expect_int();
+        ctx.read_await(self.tail, Mode::Acquire, move |t| t.expect_int() > h);
+        let v = ctx.read(self.slot(h), Mode::NonAtomic);
+        let source = *self.enq_events.lock().get(&h).expect("occupied slot");
+        let ev = ctx.write_with(self.head, Val::Int(h + 1), Mode::Release, |gh| {
+            self.obj.commit_matched(gh, QueueEvent::Deq(v), source)
+        });
+        (v, ev)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use compass::abs::replay_commit_order;
+    use compass::history::QueueInterp;
+    use compass::queue_spec::check_queue_consistent;
+    use orc11::{random_strategy, run_model, BodyFn, Config};
+
+    #[test]
+    fn fifo_and_capacity_sequentially() {
+        let out = run_model(
+            &Config::default(),
+            random_strategy(0),
+            |ctx| SpscRing::new(ctx, 2),
+            Vec::<BodyFn<'_, _, ()>>::new(),
+            |ctx, q, _| {
+                assert_eq!(q.try_dequeue(ctx).0, None);
+                q.try_enqueue(ctx, Val::Int(1)).unwrap();
+                q.try_enqueue(ctx, Val::Int(2)).unwrap();
+                assert_eq!(q.try_enqueue(ctx, Val::Int(3)), Err(Val::Int(3)), "full");
+                assert_eq!(q.try_dequeue(ctx).0, Some(Val::Int(1)));
+                // Slot reuse after the consumer advanced.
+                q.try_enqueue(ctx, Val::Int(3)).unwrap();
+                assert_eq!(q.try_dequeue(ctx).0, Some(Val::Int(2)));
+                assert_eq!(q.try_dequeue(ctx).0, Some(Val::Int(3)));
+                assert_eq!(q.try_dequeue(ctx).0, None);
+                let g = q.obj().snapshot();
+                check_queue_consistent(&g).unwrap();
+                replay_commit_order(&g, &QueueInterp).unwrap();
+            },
+        );
+        out.result.unwrap();
+    }
+
+    #[test]
+    fn concurrent_producer_consumer_is_fifo_and_race_free() {
+        for seed in 0..120 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| SpscRing::new(ctx, 2),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &SpscRing| {
+                        // Bounded producer: retry on full.
+                        for i in 1..=4i64 {
+                            while q.try_enqueue(ctx, Val::Int(i)).is_err() {}
+                        }
+                        Vec::new()
+                    }) as BodyFn<'_, _, Vec<Val>>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &SpscRing| {
+                        (0..4).map(|_| q.dequeue_await(ctx).0).collect()
+                    }),
+                ],
+                |_, q, outs| {
+                    let g = q.obj().snapshot();
+                    check_queue_consistent(&g).expect("QueueConsistent");
+                    replay_commit_order(&g, &QueueInterp).expect("LAT_hb^abs");
+                    outs[1].clone()
+                },
+            );
+            let consumed = out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(
+                consumed,
+                (1..=4).map(Val::Int).collect::<Vec<_>>(),
+                "seed {seed}: FIFO through the ring"
+            );
+        }
+    }
+
+    #[test]
+    fn full_ring_never_overwrites_live_elements() {
+        // Capacity 1: the producer can only run one element ahead.
+        for seed in 0..60 {
+            let out = run_model(
+                &Config::default(),
+                random_strategy(seed),
+                |ctx| SpscRing::new(ctx, 1),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &SpscRing| {
+                        for i in 1..=3i64 {
+                            while q.try_enqueue(ctx, Val::Int(i)).is_err() {}
+                        }
+                        Vec::new()
+                    }) as BodyFn<'_, _, Vec<Val>>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &SpscRing| {
+                        (0..3).map(|_| q.dequeue_await(ctx).0).collect()
+                    }),
+                ],
+                |_, q, outs| {
+                    check_queue_consistent(&q.obj().snapshot()).unwrap();
+                    outs[1].clone()
+                },
+            );
+            let consumed = out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+            assert_eq!(consumed, (1..=3).map(Val::Int).collect::<Vec<_>>());
+        }
+    }
+}

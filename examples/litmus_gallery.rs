@@ -1,0 +1,33 @@
+//! Litmus gallery: the substrate's relaxed-memory behaviours, explored
+//! exhaustively.
+//!
+//! ```text
+//! cargo run --example litmus_gallery
+//! ```
+
+use orc11::litmus::gallery;
+
+fn main() {
+    for (report, verdict) in [
+        (gallery::mp_rel_acq().dfs(100_000), "stale data read is FORBIDDEN"),
+        (gallery::mp_relaxed().dfs(100_000), "stale data read is ALLOWED"),
+        (gallery::mp_fences().dfs(100_000), "fences restore the guarantee"),
+        (gallery::sb().dfs(100_000), "both-read-zero is ALLOWED"),
+        (gallery::corr().dfs(200_000), "per-location coherence holds"),
+        (
+            gallery::iriw_acq().dfs(600_000),
+            "readers may disagree on write order (RC11, unlike SC)",
+        ),
+        (
+            gallery::lb().dfs(100_000),
+            "load buffering is FORBIDDEN (po ∪ rf acyclic)",
+        ),
+        (
+            gallery::release_sequence().dfs(200_000),
+            "release sequences extend through relaxed RMWs",
+        ),
+        (gallery::rmw_atomicity().dfs(100_000), "RMWs never duplicate"),
+    ] {
+        println!("{report}  ⇒ {verdict}\n");
+    }
+}

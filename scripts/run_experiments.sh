@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Regenerates every experiment from DESIGN.md §4 (E1–E10) in release mode.
+# Usage: scripts/run_experiments.sh [output-dir]
+set -euo pipefail
+out="${1:-experiment-results}"
+mkdir -p "$out"
+cargo build --release -p compass-bench
+for exp in e1_mp e2_spec_matrix e4_hist_stack e5_elimination e6_sizes e7_spsc e8_litmus e9_deque e10_strategies; do
+  echo "=== $exp ==="
+  ./target/release/"$exp" | tee "$out/$exp.txt"
+  echo
+done
+echo "E11/E12 run as integration tests:"
+cargo test --release --test flexibility -- --nocapture | tee "$out/e11_e12.txt"
+echo "Results written to $out/"

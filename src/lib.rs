@@ -1,0 +1,28 @@
+//! # compass-repro
+//!
+//! Executable reproduction of *Compass: Strong and Compositional Library
+//! Specifications in Relaxed Memory Separation Logic* (Dang, Jung, Choi,
+//! Nguyen, Mansky, Kang, Dreyer — PLDI 2022).
+//!
+//! This umbrella crate re-exports the workspace members:
+//!
+//! * [`orc11`] — the ORC11-style operational memory-model simulator
+//!   (views, per-location histories, race detection, ghost logical views,
+//!   controllable scheduler);
+//! * [`compass`] — the specification framework: event graphs, logical
+//!   views, consistency conditions (QueueConsistent / StackConsistent /
+//!   ExchangerConsistent), abstract-state replay, linearization search;
+//! * [`structures`] (`compass-structures`) — the paper's libraries on the
+//!   model, ghost-instrumented at their commit points, plus deliberately
+//!   buggy variants and the paper's client programs;
+//! * [`native`] (`compass-native`) — the same data structures on real
+//!   `std::sync::atomic`, for the performance benchmarks.
+//!
+//! See `README.md` for a tour, `DESIGN.md` for the system inventory and
+//! the per-experiment index, and `EXPERIMENTS.md` for paper-vs-measured
+//! results.
+
+pub use compass;
+pub use compass_native as native;
+pub use compass_structures as structures;
+pub use orc11;

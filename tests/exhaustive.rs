@@ -1,0 +1,174 @@
+//! Bounded-exhaustive verification: tiny instances of every structure,
+//! explored over *every* schedule the model admits.
+//!
+//! These are the closest executable analogue to the paper's theorems: at
+//! these sizes the claim "consistent on every execution" is not sampled
+//! but total (within the model's scheduler granularity).
+
+use compass::checker::{check_executions, Exploration};
+use compass::deque_spec::{check_deque_consistent, mutator_subgraph, DequeInterp};
+use compass::exchanger_spec::check_exchanger_consistent;
+use compass::history::{find_linearization, QueueInterp, StackInterp};
+use compass::queue_spec::check_queue_consistent_prefixes;
+use compass::spec::Violation;
+use compass::stack_spec::check_stack_consistent_prefixes;
+use compass_repro::structures::deque::ChaseLevDeque;
+use compass_repro::structures::exchanger::Exchanger;
+use compass_repro::structures::queue::{HwQueue, ModelQueue, MsQueue};
+use compass_repro::structures::stack::{ModelStack, TreiberStack};
+use orc11::{run_model, BodyFn, Config, ThreadCtx, Val};
+
+const DFS: Exploration = Exploration::Dfs { budget: 400_000 };
+
+fn lin_violation() -> Violation {
+    Violation::new("HIST-LINEARIZABLE", "no linearization", vec![])
+}
+
+#[test]
+fn ms_queue_one_enq_one_deq_exhaustive() {
+    let report = check_executions(
+        &DFS,
+        |strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| MsQueue::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                        q.enqueue(ctx, Val::Int(1));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, q, _| q.obj().snapshot(),
+            )
+        },
+        |g| {
+            check_queue_consistent_prefixes(g)?;
+            compass::abs::replay_commit_order(g, &QueueInterp)?;
+            Ok(())
+        },
+    );
+    assert!(report.exhausted, "should exhaust: {report}");
+    report.assert_clean();
+    assert!(report.execs > 10, "nontrivial tree: {report}");
+}
+
+#[test]
+fn hw_queue_one_enq_two_deq_exhaustive() {
+    let report = check_executions(
+        &DFS,
+        |strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| HwQueue::new(ctx, 2),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &HwQueue| {
+                        q.enqueue(ctx, Val::Int(1));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &HwQueue| {
+                        q.try_dequeue(ctx);
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, q: &HwQueue| {
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, q, _| q.obj().snapshot(),
+            )
+        },
+        |g| check_queue_consistent_prefixes(g),
+    );
+    assert!(report.exhausted, "should exhaust: {report}");
+    report.assert_clean();
+}
+
+#[test]
+fn treiber_one_push_one_pop_exhaustive() {
+    let report = check_executions(
+        &DFS,
+        |strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| TreiberStack::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, s: &TreiberStack| {
+                        s.push(ctx, Val::Int(1));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, s: &TreiberStack| {
+                        s.pop(ctx);
+                    }),
+                ],
+                |_, s, _| s.obj().snapshot(),
+            )
+        },
+        |g| {
+            check_stack_consistent_prefixes(g)?;
+            find_linearization(g, &StackInterp, &[])
+                .map(|_| ())
+                .ok_or_else(lin_violation)
+        },
+    );
+    assert!(report.exhausted, "should exhaust: {report}");
+    report.assert_clean();
+}
+
+#[test]
+fn exchanger_pair_exhaustive() {
+    let report = check_executions(
+        &DFS,
+        |strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| Exchanger::new(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| {
+                        x.exchange(ctx, Val::Int(1), 1);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| {
+                        x.exchange(ctx, Val::Int(2), 1);
+                    }),
+                ],
+                |_, x, _| x.obj().snapshot(),
+            )
+        },
+        |g| check_exchanger_consistent(g),
+    );
+    assert!(report.exhausted, "should exhaust: {report}");
+    report.assert_clean();
+}
+
+#[test]
+fn chase_lev_push_pop_steal_exhaustive() {
+    let report = check_executions(
+        &DFS,
+        |strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| ChaseLevDeque::new(ctx, 2),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                        d.push(ctx, Val::Int(1));
+                        d.pop(ctx);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                        d.steal(ctx);
+                    }),
+                ],
+                |_, d, _| d.obj().snapshot(),
+            )
+        },
+        |g| {
+            check_deque_consistent(g)?;
+            find_linearization(&mutator_subgraph(g), &DequeInterp, &[])
+                .map(|_| ())
+                .ok_or_else(lin_violation)
+        },
+    );
+    assert!(report.exhausted, "should exhaust: {report}");
+    report.assert_clean();
+}

@@ -1,0 +1,193 @@
+//! Property-based tests for the Compass checkers: graphs generated from
+//! sequential oracle runs are always accepted; targeted mutations are
+//! always rejected; the linearization search is sound and agrees with the
+//! oracle.
+
+use std::collections::{BTreeSet, VecDeque};
+
+use proptest::prelude::*;
+
+use compass::history::{
+    find_linearization, validate_linearization, QueueInterp, StackInterp,
+};
+use compass::queue_spec::{check_queue_consistent, QueueEvent};
+use compass::stack_spec::{check_stack_consistent, StackEvent};
+use compass::{EventId, Graph};
+use orc11::Val;
+
+/// An abstract operation for the oracle generators.
+#[derive(Copy, Clone, Debug)]
+enum Op {
+    Insert(i64),
+    Remove,
+}
+
+fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
+    prop::collection::vec(
+        prop_oneof![
+            (0i64..50).prop_map(Op::Insert),
+            Just(Op::Remove),
+        ],
+        0..24,
+    )
+}
+
+/// Runs `ops` through a sequential queue, building a totally-ordered
+/// graph (every event sees all predecessors) with `visibility(i)` events
+/// in each logview (a prefix, so logviews stay hb-closed).
+fn queue_graph(ops: &[Op], full_visibility: bool) -> Graph<QueueEvent> {
+    let mut g: Graph<QueueEvent> = Graph::new();
+    let mut state: VecDeque<(i64, EventId)> = VecDeque::new();
+    let mut step = 0u64;
+    for op in ops {
+        let id = g.next_id();
+        let logview: BTreeSet<EventId> = if full_visibility {
+            (0..=id.raw()).map(EventId::from_raw).collect()
+        } else {
+            [id].into_iter().collect()
+        };
+        step += 1;
+        match op {
+            Op::Insert(v) => {
+                g.add_event(QueueEvent::Enq(Val::Int(*v)), 1, step, logview);
+                state.push_back((*v, id));
+            }
+            Op::Remove => match state.pop_front() {
+                Some((v, src)) => {
+                    // A dequeue must happen-after its enqueue (SO-LHB):
+                    // even with thin visibility, include the source's
+                    // logview.
+                    let mut lv = logview;
+                    lv.insert(src);
+                    lv.extend(g.event(src).logview.iter().copied());
+                    g.add_event(QueueEvent::Deq(Val::Int(v)), 1, step, lv);
+                    g.add_so(src, id);
+                }
+                None => {
+                    g.add_event(QueueEvent::EmpDeq, 1, step, logview);
+                }
+            },
+        }
+    }
+    g
+}
+
+fn stack_graph(ops: &[Op], full_visibility: bool) -> Graph<StackEvent> {
+    let mut g: Graph<StackEvent> = Graph::new();
+    let mut state: Vec<(i64, EventId)> = Vec::new();
+    let mut step = 0u64;
+    for op in ops {
+        let id = g.next_id();
+        let logview: BTreeSet<EventId> = if full_visibility {
+            (0..=id.raw()).map(EventId::from_raw).collect()
+        } else {
+            [id].into_iter().collect()
+        };
+        step += 1;
+        match op {
+            Op::Insert(v) => {
+                g.add_event(StackEvent::Push(Val::Int(*v)), 1, step, logview);
+                state.push((*v, id));
+            }
+            Op::Remove => match state.pop() {
+                Some((v, src)) => {
+                    let mut lv = logview;
+                    lv.insert(src);
+                    lv.extend(g.event(src).logview.iter().copied());
+                    g.add_event(StackEvent::Pop(Val::Int(v)), 1, step, lv);
+                    g.add_so(src, id);
+                }
+                None => {
+                    g.add_event(StackEvent::EmpPop, 1, step, logview);
+                }
+            },
+        }
+    }
+    g
+}
+
+proptest! {
+    #[test]
+    fn sequential_queue_histories_are_consistent(ops in ops_strategy()) {
+        let g = queue_graph(&ops, true);
+        prop_assert!(check_queue_consistent(&g).is_ok(), "{:?}", check_queue_consistent(&g));
+        // The identity order is a linearization witness.
+        let order = compass::abs::commit_order(&g);
+        prop_assert!(validate_linearization(&g, &QueueInterp, &order).is_ok());
+    }
+
+    #[test]
+    fn thin_visibility_queue_histories_are_consistent(ops in ops_strategy()) {
+        // Minimal logviews (only so edges) are weaker premises: the
+        // conditions must still hold.
+        let g = queue_graph(&ops, false);
+        prop_assert!(check_queue_consistent(&g).is_ok());
+        prop_assert!(find_linearization(&g, &QueueInterp, &[]).is_some());
+    }
+
+    #[test]
+    fn sequential_stack_histories_are_consistent(ops in ops_strategy()) {
+        let g = stack_graph(&ops, true);
+        prop_assert!(check_stack_consistent(&g).is_ok(), "{:?}", check_stack_consistent(&g));
+        let order = compass::abs::commit_order(&g);
+        prop_assert!(validate_linearization(&g, &StackInterp, &order).is_ok());
+    }
+
+    #[test]
+    fn corrupting_a_dequeue_value_is_caught(ops in ops_strategy()) {
+        let g = queue_graph(&ops, true);
+        // Find a successful dequeue and corrupt its value to a fresh one.
+        let victim = g.iter().find(|(_, e)| matches!(e.ty, QueueEvent::Deq(_))).map(|(id, _)| id);
+        prop_assume!(victim.is_some());
+        let victim = victim.unwrap();
+        let mut events: Vec<_> = g.iter().map(|(_, e)| e.clone()).collect();
+        events[victim.index()].ty = QueueEvent::Deq(Val::Int(999));
+        let mut g2: Graph<QueueEvent> = Graph::new();
+        for e in events {
+            g2.add_event(e.ty, e.tid, e.step, e.logview);
+        }
+        for &(a, b) in g.so() {
+            g2.add_so(a, b);
+        }
+        prop_assert!(check_queue_consistent(&g2).is_err());
+    }
+
+    #[test]
+    fn dropping_an_so_edge_is_caught(ops in ops_strategy()) {
+        let g = queue_graph(&ops, true);
+        prop_assume!(!g.so().is_empty());
+        let drop_edge = *g.so().iter().next().unwrap();
+        let mut g2: Graph<QueueEvent> = Graph::new();
+        for (_, e) in g.iter() {
+            g2.add_event(e.ty, e.tid, e.step, e.logview.clone());
+        }
+        for &(a, b) in g.so() {
+            if (a, b) != drop_edge {
+                g2.add_so(a, b);
+            }
+        }
+        // The orphaned dequeue violates injectivity (and usually FIFO).
+        prop_assert!(check_queue_consistent(&g2).is_err());
+    }
+
+    #[test]
+    fn linearization_search_is_sound(ops in ops_strategy()) {
+        // Whatever the search returns must validate.
+        let g = queue_graph(&ops, false);
+        if let Some(order) = find_linearization(&g, &QueueInterp, &[]) {
+            prop_assert!(validate_linearization(&g, &QueueInterp, &order).is_ok());
+        }
+        let s = stack_graph(&ops, false);
+        if let Some(order) = find_linearization(&s, &StackInterp, &[]) {
+            prop_assert!(validate_linearization(&s, &StackInterp, &order).is_ok());
+        }
+    }
+
+    #[test]
+    fn prefix_graphs_stay_well_formed(ops in ops_strategy(), cut in 0u64..30) {
+        let g = queue_graph(&ops, true);
+        let p = g.prefix_at(cut);
+        prop_assert!(p.check_well_formed().is_ok());
+        prop_assert!(check_queue_consistent(&p).is_ok());
+    }
+}

@@ -1,0 +1,54 @@
+//! Integration: the SPSC client of §3.2 — end-to-end FIFO transfer.
+
+use compass_repro::structures::clients::{check_spsc, run_spsc};
+use orc11::{random_strategy, Explorer};
+
+#[test]
+fn spsc_random_sweep() {
+    for n in [1usize, 2, 4, 8] {
+        for seed in 0..60 {
+            let out = run_spsc(n, random_strategy(seed));
+            let res = out
+                .result
+                .unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+            check_spsc(&res, n).unwrap_or_else(|e| panic!("n={n} seed={seed}: {e}"));
+        }
+    }
+}
+
+#[test]
+fn spsc_exhaustive_small() {
+    // n = 1 is small enough to exhaust the scheduler tree completely.
+    let report = Explorer.dfs(
+        50_000,
+        |strategy| run_spsc(1, strategy),
+        |n, out| {
+            let res = out.result.as_ref().unwrap_or_else(|e| panic!("exec {n}: {e}"));
+            check_spsc(res, 1).unwrap_or_else(|e| panic!("exec {n}: {e}"));
+        },
+    );
+    assert!(report.exhausted, "n=1 SPSC should be fully explorable: {report}");
+    assert_eq!(report.error_count, 0);
+}
+
+#[test]
+fn spsc_graph_shape() {
+    // The graph has exactly n enqueues and n dequeues, fully matched.
+    use compass::queue_spec::QueueEvent;
+    let n = 4;
+    let out = run_spsc(n, random_strategy(17));
+    let res = out.result.unwrap();
+    let enqs = res
+        .graph
+        .iter()
+        .filter(|(_, e)| matches!(e.ty, QueueEvent::Enq(_)))
+        .count();
+    let deqs = res
+        .graph
+        .iter()
+        .filter(|(_, e)| matches!(e.ty, QueueEvent::Deq(_)))
+        .count();
+    assert_eq!(enqs, n);
+    assert_eq!(deqs, n);
+    assert_eq!(res.graph.so().len(), n);
+}

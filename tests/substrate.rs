@@ -1,0 +1,187 @@
+//! Integration: substrate-level guarantees across the stack — race
+//! freedom of the shipped structures, race detection on broken clients,
+//! litmus outcomes.
+
+use compass_repro::structures::queue::{HwQueue, ModelQueue, MsQueue};
+use compass_repro::structures::stack::{ModelStack, TreiberStack};
+use orc11::litmus::gallery;
+use orc11::{random_strategy, run_model, BodyFn, Config, Mode, ModelError, ThreadCtx, Val};
+
+#[test]
+fn shipped_structures_are_race_free() {
+    // Any data race would abort the execution; 3-thread mixed workloads
+    // over many seeds must all complete.
+    for seed in 0..120 {
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| (MsQueue::new(ctx), HwQueue::new(ctx, 8), TreiberStack::new(ctx)),
+            vec![
+                Box::new(
+                    |ctx: &mut ThreadCtx, (q, h, s): &(MsQueue, HwQueue, TreiberStack)| {
+                        q.enqueue(ctx, Val::Int(1));
+                        h.enqueue(ctx, Val::Int(2));
+                        s.push(ctx, Val::Int(3));
+                    },
+                ) as BodyFn<'_, _, ()>,
+                Box::new(
+                    |ctx: &mut ThreadCtx, (q, h, s): &(MsQueue, HwQueue, TreiberStack)| {
+                        q.try_dequeue(ctx);
+                        h.try_dequeue(ctx);
+                        s.pop(ctx);
+                    },
+                ),
+                Box::new(
+                    |ctx: &mut ThreadCtx, (q, h, s): &(MsQueue, HwQueue, TreiberStack)| {
+                        s.push(ctx, Val::Int(4));
+                        q.enqueue(ctx, Val::Int(5));
+                        h.try_dequeue(ctx);
+                    },
+                ),
+            ],
+            |_, _, _| (),
+        );
+        out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
+    }
+}
+
+#[test]
+fn unsynchronized_nonatomic_sharing_races() {
+    // A broken "client" that shares a non-atomic cell through a relaxed
+    // flag must be caught by the race detector in some interleaving.
+    let mut races = 0;
+    for seed in 0..100 {
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| {
+                (
+                    ctx.alloc("cell", Val::Int(0)),
+                    ctx.alloc("flag", Val::Int(0)),
+                )
+            },
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, &(cell, flag): &(orc11::Loc, orc11::Loc)| {
+                    ctx.write(cell, Val::Int(1), Mode::NonAtomic);
+                    ctx.write(flag, Val::Int(1), Mode::Relaxed); // BUG: not release
+                }) as BodyFn<'_, _, ()>,
+                Box::new(|ctx: &mut ThreadCtx, &(cell, flag): &(orc11::Loc, orc11::Loc)| {
+                    ctx.read_await(flag, Mode::Acquire, |v| v == Val::Int(1));
+                    ctx.read(cell, Mode::NonAtomic);
+                }),
+            ],
+            |_, _, _| (),
+        );
+        if matches!(out.result, Err(ModelError::Race(_))) {
+            races += 1;
+        }
+    }
+    assert!(races > 0, "the relaxed-flag MP race should be detected");
+}
+
+#[test]
+fn litmus_mp_hierarchy() {
+    let strong = gallery::mp_rel_acq().dfs(100_000);
+    assert!(strong.report.exhausted);
+    strong.assert_never(&[0, 0]);
+
+    let weak = gallery::mp_relaxed().dfs(100_000);
+    assert!(weak.report.exhausted);
+    weak.assert_observable(&[0, 0]);
+
+    let fenced = gallery::mp_fences().dfs(100_000);
+    assert!(fenced.report.exhausted);
+    fenced.assert_never(&[0, 0]);
+}
+
+#[test]
+fn litmus_relaxed_behaviours_exist() {
+    let sb = gallery::sb().dfs(100_000);
+    sb.assert_observable(&[0, 0]);
+    let iriw = gallery::iriw_acq().dfs(600_000);
+    iriw.assert_observable(&[0, 0, 10, 10]);
+}
+
+#[test]
+fn model_queue_multiset_preserved() {
+    // Cross-check the model structures against a counting oracle: every
+    // dequeued value was enqueued, no duplicates.
+    use std::collections::BTreeMap;
+    for seed in 0..60 {
+        let out = run_model(
+            &Config::default(),
+            random_strategy(seed),
+            |ctx| MsQueue::new(ctx),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                    vec![
+                        (true, Val::Int(1), q.enqueue(ctx, Val::Int(1))),
+                        (true, Val::Int(2), q.enqueue(ctx, Val::Int(2))),
+                    ]
+                }) as BodyFn<'_, _, Vec<(bool, Val, compass::EventId)>>,
+                Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                    let mut v = Vec::new();
+                    for _ in 0..2 {
+                        let (r, ev) = q.try_dequeue(ctx);
+                        if let Some(x) = r {
+                            v.push((false, x, ev));
+                        }
+                    }
+                    v
+                }),
+            ],
+            |_, _, outs| outs.concat(),
+        );
+        let records = out.result.unwrap();
+        let mut counts: BTreeMap<Val, i64> = BTreeMap::new();
+        for (is_enq, v, _) in records {
+            *counts.entry(v).or_insert(0) += if is_enq { 1 } else { -1 };
+        }
+        assert!(
+            counts.values().all(|&c| (0..=1).contains(&c)),
+            "seed {seed}: multiset broken: {counts:?}"
+        );
+    }
+}
+
+#[test]
+fn op_log_records_full_executions() {
+    use orc11::{render_ops, OpKindRecord};
+    let out = run_model(
+        &Config {
+            record_ops: true,
+            ..Config::default()
+        },
+        random_strategy(5),
+        |ctx| MsQueue::new(ctx),
+        vec![
+            Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                q.enqueue(ctx, Val::Int(7));
+            }) as BodyFn<'_, _, ()>,
+            Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
+                q.try_dequeue(ctx);
+            }),
+        ],
+        |_, _, _| (),
+    );
+    assert!(out.result.is_ok());
+    assert_eq!(out.ops.len() as u64, out.steps, "one record per instruction");
+    // The log contains the release-CAS commit of the enqueue...
+    assert!(out
+        .ops
+        .iter()
+        .any(|op| matches!(&op.kind, OpKindRecord::Rmw { new: Some(v), .. } if v.as_loc().is_some())));
+    // ...and renders one line per instruction with location names.
+    let rendered = render_ops(&out.ops);
+    assert_eq!(rendered.lines().count(), out.ops.len());
+    assert!(rendered.contains("ms.head") || rendered.contains("ms.tail"));
+    // By default nothing is recorded.
+    let quiet = run_model(
+        &Config::default(),
+        random_strategy(5),
+        |ctx| ctx.alloc("x", Val::Int(0)),
+        Vec::<BodyFn<'_, _, ()>>::new(),
+        |_, _, _| (),
+    );
+    assert!(quiet.ops.is_empty());
+}
