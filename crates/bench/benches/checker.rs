@@ -2,58 +2,49 @@
 //! and the cost of the `LAT_hb^hist` linearization search as histories
 //! grow.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
 use compass::history::{find_linearization, QueueInterp};
 use compass::queue_spec::QueueEvent;
 use compass::{EventId, Graph};
+use compass_bench::timing::Group;
 use compass_bench::workloads::{deque_stats, elim_stats, queue_spec_stats, treiber_hist_stats};
 use compass_structures::queue::{HwQueue, MsQueue};
 use orc11::Val;
 
-fn bench_model_checking(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p3_model_checking");
+const SAMPLES: u64 = 10;
+
+fn bench_model_checking() {
+    let mut group = Group::new("p3_model_checking", SAMPLES);
     const RUNS: u64 = 10;
-    group.throughput(Throughput::Elements(RUNS));
-    group.bench_function("ms-queue/run+check", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            let s = queue_spec_stats(MsQueue::new, seed..seed + RUNS);
-            seed += RUNS;
-            s
-        })
+    group.throughput(RUNS);
+    let mut seed = 0;
+    group.bench("ms-queue/run+check", || {
+        let s = queue_spec_stats(MsQueue::new, seed..seed + RUNS);
+        seed += RUNS;
+        s
     });
-    group.bench_function("hw-queue/run+check", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            let s = queue_spec_stats(|ctx| HwQueue::new(ctx, 8), seed..seed + RUNS);
-            seed += RUNS;
-            s
-        })
+    let mut seed = 0;
+    group.bench("hw-queue/run+check", || {
+        let s = queue_spec_stats(|ctx| HwQueue::new(ctx, 8), seed..seed + RUNS);
+        seed += RUNS;
+        s
     });
-    group.bench_function("treiber/run+check", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            let s = treiber_hist_stats(seed..seed + RUNS);
-            seed += RUNS;
-            s
-        })
+    let mut seed = 0;
+    group.bench("treiber/run+check", || {
+        let s = treiber_hist_stats(seed..seed + RUNS);
+        seed += RUNS;
+        s
     });
-    group.bench_function("chase-lev/run+check", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            let s = deque_stats(seed..seed + RUNS);
-            seed += RUNS;
-            s
-        })
+    let mut seed = 0;
+    group.bench("chase-lev/run+check", || {
+        let s = deque_stats(seed..seed + RUNS);
+        seed += RUNS;
+        s
     });
-    group.bench_function("elim-stack/run+check", |b| {
-        let mut seed = 0;
-        b.iter(|| {
-            let s = elim_stats(seed..seed + RUNS, 3);
-            seed += RUNS;
-            s
-        })
+    let mut seed = 0;
+    group.bench("elim-stack/run+check", || {
+        let s = elim_stats(seed..seed + RUNS, 3);
+        seed += RUNS;
+        s
     });
     group.finish();
 }
@@ -85,21 +76,19 @@ fn synthetic_history(n: usize) -> Graph<QueueEvent> {
     g
 }
 
-fn bench_linearization_search(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p3_linearization_search");
+fn bench_linearization_search() {
+    let mut group = Group::new("p3_linearization_search", SAMPLES);
     for n in [2usize, 4, 6, 8] {
         let g = synthetic_history(n);
-        group.throughput(Throughput::Elements((2 * n) as u64));
-        group.bench_with_input(BenchmarkId::new("events", 2 * n), &g, |b, g| {
-            b.iter(|| find_linearization(g, &QueueInterp, &[]).is_some())
+        group.throughput((2 * n) as u64);
+        group.bench(&format!("events/{}", 2 * n), || {
+            find_linearization(&g, &QueueInterp, &[]).is_some()
         });
     }
     group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_model_checking, bench_linearization_search
+fn main() {
+    bench_model_checking();
+    bench_linearization_search();
 }
-criterion_main!(benches);

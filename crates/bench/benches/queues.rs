@@ -7,11 +7,11 @@
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use compass_bench::timing::Group;
 use compass_native::{ConcurrentQueue, HwQueue, MsQueue, MutexQueue};
 
 const OPS_PER_THREAD: u64 = 4_000;
+const SAMPLES: u64 = 10;
 
 /// Producer/consumer pairs hammer the queue; total ops = 2 * pairs * OPS.
 fn run_pairs<Q: ConcurrentQueue<u64>>(q: &Q, pairs: usize) {
@@ -44,38 +44,21 @@ fn run_pairs<Q: ConcurrentQueue<u64>>(q: &Q, pairs: usize) {
     });
 }
 
-fn bench_queues(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p1_queue_throughput");
+fn main() {
+    let mut group = Group::new("p1_queue_throughput", SAMPLES);
     for pairs in [1usize, 2, 4] {
         let total_ops = 2 * pairs as u64 * OPS_PER_THREAD;
-        group.throughput(Throughput::Elements(total_ops));
-        group.bench_with_input(
-            BenchmarkId::new("michael-scott", pairs),
-            &pairs,
-            |b, &pairs| b.iter(|| run_pairs(&MsQueue::new(), pairs)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("herlihy-wing", pairs),
-            &pairs,
-            |b, &pairs| {
-                b.iter(|| {
-                    let q = HwQueue::new((pairs as u64 * OPS_PER_THREAD) as usize);
-                    run_pairs(&q, pairs)
-                })
-            },
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mutex-baseline", pairs),
-            &pairs,
-            |b, &pairs| b.iter(|| run_pairs(&MutexQueue::new(), pairs)),
-        );
+        group.throughput(total_ops);
+        group.bench(&format!("michael-scott/{pairs}"), || {
+            run_pairs(&MsQueue::new(), pairs)
+        });
+        group.bench(&format!("herlihy-wing/{pairs}"), || {
+            let q = HwQueue::new((pairs as u64 * OPS_PER_THREAD) as usize);
+            run_pairs(&q, pairs)
+        });
+        group.bench(&format!("mutex-baseline/{pairs}"), || {
+            run_pairs(&MutexQueue::new(), pairs)
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_queues
-}
-criterion_main!(benches);

@@ -1,78 +1,65 @@
 //! P4 — SPSC throughput: the bounded ring vs the Michael-Scott queue vs
 //! std::sync::mpsc, single producer to single consumer.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-
+use compass_bench::timing::Group;
 use compass_native::{spsc_ring, MsQueue};
 
 const N: u64 = 100_000;
+const SAMPLES: u64 = 10;
 
-fn bench_spsc(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p4_spsc_throughput");
-    group.throughput(Throughput::Elements(N));
-    group.bench_function("spsc-ring", |b| {
-        b.iter(|| {
-            let (p, cns) = spsc_ring::<u64>(1024);
-            std::thread::scope(|scope| {
-                scope.spawn(move || {
-                    for i in 0..N {
-                        p.push(i);
-                    }
-                });
-                scope.spawn(move || {
-                    for _ in 0..N {
-                        let _ = cns.pop();
-                    }
-                });
+fn main() {
+    let mut group = Group::new("p4_spsc_throughput", SAMPLES);
+    group.throughput(N);
+    group.bench("spsc-ring", || {
+        let (p, cns) = spsc_ring::<u64>(1024);
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    p.push(i);
+                }
             });
-        })
+            scope.spawn(move || {
+                for _ in 0..N {
+                    let _ = cns.pop();
+                }
+            });
+        });
     });
-    group.bench_function("ms-queue", |b| {
-        b.iter(|| {
-            let q = MsQueue::new();
-            std::thread::scope(|scope| {
-                let q = &q;
-                scope.spawn(move || {
-                    for i in 0..N {
-                        q.push(i);
-                    }
-                });
-                scope.spawn(move || {
-                    let mut got = 0;
-                    while got < N {
-                        if q.pop().is_some() {
-                            got += 1;
-                        } else {
-                            std::thread::yield_now();
-                        }
-                    }
-                });
+    group.bench("ms-queue", || {
+        let q = MsQueue::new();
+        std::thread::scope(|scope| {
+            let q = &q;
+            scope.spawn(move || {
+                for i in 0..N {
+                    q.push(i);
+                }
             });
-        })
+            scope.spawn(move || {
+                let mut got = 0;
+                while got < N {
+                    if q.pop().is_some() {
+                        got += 1;
+                    } else {
+                        std::thread::yield_now();
+                    }
+                }
+            });
+        });
     });
-    group.bench_function("std-mpsc", |b| {
-        b.iter(|| {
-            let (tx, rx) = std::sync::mpsc::channel::<u64>();
-            std::thread::scope(|scope| {
-                scope.spawn(move || {
-                    for i in 0..N {
-                        tx.send(i).unwrap();
-                    }
-                });
-                scope.spawn(move || {
-                    for _ in 0..N {
-                        let _ = rx.recv().unwrap();
-                    }
-                });
+    group.bench("std-mpsc", || {
+        let (tx, rx) = std::sync::mpsc::channel::<u64>();
+        std::thread::scope(|scope| {
+            scope.spawn(move || {
+                for i in 0..N {
+                    tx.send(i).unwrap();
+                }
             });
-        })
+            scope.spawn(move || {
+                for _ in 0..N {
+                    let _ = rx.recv().unwrap();
+                }
+            });
+        });
     });
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_spsc
-}
-criterion_main!(benches);

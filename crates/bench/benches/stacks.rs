@@ -6,11 +6,11 @@
 //! contention grows, the elimination stack's backoff converts head-CAS
 //! failures into successful eliminations and it scales past Treiber.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-
+use compass_bench::timing::Group;
 use compass_native::{ConcurrentStack, ElimStack, MutexStack, TreiberStack};
 
 const OPS_PER_THREAD: u64 = 4_000;
+const SAMPLES: u64 = 10;
 
 /// Symmetric push/pop mix: every thread alternates push and pop, which
 /// maximizes elimination opportunities.
@@ -31,37 +31,23 @@ fn run_mixed<S: ConcurrentStack<u64>>(s: &S, threads: usize) {
     });
 }
 
-fn bench_stacks(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p2_stack_contention");
+fn main() {
+    let mut group = Group::new("p2_stack_contention", SAMPLES);
     let max = std::thread::available_parallelism().map_or(8, |n| n.get());
     for threads in [1usize, 2, 4, 8] {
         if threads > max.max(4) {
             continue;
         }
-        let total_ops = threads as u64 * OPS_PER_THREAD;
-        group.throughput(Throughput::Elements(total_ops));
-        group.bench_with_input(
-            BenchmarkId::new("treiber", threads),
-            &threads,
-            |b, &threads| b.iter(|| run_mixed(&TreiberStack::new(), threads)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("elimination", threads),
-            &threads,
-            |b, &threads| b.iter(|| run_mixed(&ElimStack::new(threads.max(1), 128), threads)),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("mutex-baseline", threads),
-            &threads,
-            |b, &threads| b.iter(|| run_mixed(&MutexStack::new(), threads)),
-        );
+        group.throughput(threads as u64 * OPS_PER_THREAD);
+        group.bench(&format!("treiber/{threads}"), || {
+            run_mixed(&TreiberStack::new(), threads)
+        });
+        group.bench(&format!("elimination/{threads}"), || {
+            run_mixed(&ElimStack::new(threads.max(1), 128), threads)
+        });
+        group.bench(&format!("mutex-baseline/{threads}"), || {
+            run_mixed(&MutexStack::new(), threads)
+        });
     }
     group.finish();
 }
-
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_stacks
-}
-criterion_main!(benches);

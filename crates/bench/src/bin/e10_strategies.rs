@@ -9,11 +9,15 @@
 
 use compass::deque_spec::check_deque_consistent;
 use compass::queue_spec::check_queue_consistent;
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_structures::buggy::RelaxedHwQueue;
 use compass_structures::deque::ChaseLevDeque;
 use compass_structures::queue::ModelQueue;
-use orc11::{pct_strategy, random_strategy, run_model, BodyFn, Config, Loc, Mode, Strategy, ThreadCtx, Val};
+use orc11::Json;
+use orc11::{
+    pct_strategy, random_strategy, run_model, BodyFn, Config, Loc, Mode, Strategy, ThreadCtx, Val,
+};
 
 fn weak_deque_buggy(strategy: Box<dyn Strategy>) -> bool {
     let out = run_model(
@@ -72,16 +76,11 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(3000);
     println!("E10 — bug-finding rate by scheduling strategy, {n} executions each\n");
-    let mut t = Table::new(&[
-        "bug",
-        "uniform random",
-        "PCT d=2",
-        "PCT d=3",
-        "PCT d=5",
-    ]);
+    let mut t = Table::new(&["bug", "uniform random", "PCT d=2", "PCT d=3", "PCT d=5"]);
     let count = |f: fn(Box<dyn Strategy>) -> bool, mk: &dyn Fn(u64) -> Box<dyn Strategy>| {
         (0..n).filter(|&s| f(mk(s))).count()
     };
+    let mut bugs = Json::obj();
     for (name, f) in [
         (
             "Chase-Lev double-take (weak fences)",
@@ -89,13 +88,26 @@ fn main() {
         ),
         ("Herlihy-Wing FIFO (relaxed tail)", weak_hw_buggy),
     ] {
+        let random = count(f, &|s| random_strategy(s));
+        let pct2 = count(f, &|s| pct_strategy(s, 2, 40));
+        let pct3 = count(f, &|s| pct_strategy(s, 3, 40));
+        let pct5 = count(f, &|s| pct_strategy(s, 5, 40));
         t.row(&[
             name.to_string(),
-            format!("{}/{n}", count(f, &|s| random_strategy(s))),
-            format!("{}/{n}", count(f, &|s| pct_strategy(s, 2, 40))),
-            format!("{}/{n}", count(f, &|s| pct_strategy(s, 3, 40))),
-            format!("{}/{n}", count(f, &|s| pct_strategy(s, 5, 40))),
+            format!("{random}/{n}"),
+            format!("{pct2}/{n}"),
+            format!("{pct3}/{n}"),
+            format!("{pct5}/{n}"),
         ]);
+        let b = std::mem::replace(&mut bugs, Json::Null);
+        bugs = b.set(
+            name,
+            Json::obj()
+                .set("random", random)
+                .set("pct_d2", pct2)
+                .set("pct_d3", pct3)
+                .set("pct_d5", pct5),
+        );
     }
     println!("{t}");
     println!(
@@ -103,4 +115,8 @@ fn main() {
          rate than\nuniform random scheduling (Burckhardt et al., ASPLOS 2010) — an \
          order of magnitude or more."
     );
+    let mut m = Metrics::new("e10_strategies");
+    m.param("executions", n);
+    m.set("bugs_found", bugs);
+    m.write_or_warn();
 }

@@ -6,11 +6,13 @@
 //! makes empty a consistent outcome — the guarantee comes from combining
 //! QUEUE-EMPDEQ with the client's external synchronization.
 
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_structures::clients::{check_mp, run_mp};
 use compass_structures::queue::{HwQueue, MsQueue};
-use orc11::{random_strategy, Val};
+use orc11::{random_strategy, Json, Val};
 
+#[derive(Default)]
 struct Tally {
     v41: u64,
     v42: u64,
@@ -20,26 +22,18 @@ struct Tally {
 }
 
 fn tally<Q: compass_structures::queue::ModelQueue>(
-    name: &str,
     make: impl Fn(&mut orc11::ThreadCtx) -> Q + Copy,
     release_flag: bool,
     seeds: u64,
-    t: &mut Table,
-) {
-    let mut tl = Tally {
-        v41: 0,
-        v42: 0,
-        empty: 0,
-        violations: 0,
-        errors: 0,
-    };
+) -> Tally {
+    let mut tl = Tally::default();
     for seed in 0..seeds {
         match run_mp(make, release_flag, random_strategy(seed)).result {
             Err(_) => tl.errors += 1,
             Ok(res) => {
                 match res.right_value {
-                    Some(v) if v == Val::Int(41) => tl.v41 += 1,
-                    Some(v) if v == Val::Int(42) => tl.v42 += 1,
+                    Some(Val::Int(41)) => tl.v41 += 1,
+                    Some(Val::Int(42)) => tl.v42 += 1,
                     Some(_) => tl.violations += 1,
                     None => tl.empty += 1,
                 }
@@ -49,15 +43,7 @@ fn tally<Q: compass_structures::queue::ModelQueue>(
             }
         }
     }
-    t.row(&[
-        name.to_string(),
-        if release_flag { "release" } else { "relaxed (ablation)" }.to_string(),
-        tl.v41.to_string(),
-        tl.v42.to_string(),
-        tl.empty.to_string(),
-        tl.violations.to_string(),
-        tl.errors.to_string(),
-    ]);
+    tl
 }
 
 fn main() {
@@ -67,12 +53,60 @@ fn main() {
         .unwrap_or(500);
     println!("E1 — Message-Passing client of queues (Figure 1/3), {seeds} seeds each\n");
     let mut t = Table::new(&[
-        "queue", "flag write", "got 41", "got 42", "empty", "violations", "model errors",
+        "queue",
+        "flag write",
+        "got 41",
+        "got 42",
+        "empty",
+        "violations",
+        "model errors",
     ]);
-    tally("Michael-Scott (rel/acq)", MsQueue::new, true, seeds, &mut t);
-    tally("Michael-Scott (rel/acq)", MsQueue::new, false, seeds, &mut t);
-    tally("Herlihy-Wing (relaxed)", |ctx| HwQueue::new(ctx, 4), true, seeds, &mut t);
-    tally("Herlihy-Wing (relaxed)", |ctx| HwQueue::new(ctx, 4), false, seeds, &mut t);
+    let mut rows = Json::arr();
+    let mut add = |t: &mut Table, name: &str, release_flag: bool, tl: Tally| {
+        let flag = if release_flag {
+            "release"
+        } else {
+            "relaxed (ablation)"
+        };
+        t.row(&[
+            name.to_string(),
+            flag.to_string(),
+            tl.v41.to_string(),
+            tl.v42.to_string(),
+            tl.empty.to_string(),
+            tl.violations.to_string(),
+            tl.errors.to_string(),
+        ]);
+        let row = Json::obj()
+            .set("queue", name)
+            .set(
+                "flag_write",
+                if release_flag { "release" } else { "relaxed" },
+            )
+            .set("got_41", tl.v41)
+            .set("got_42", tl.v42)
+            .set("empty", tl.empty)
+            .set("violations", tl.violations)
+            .set("model_errors", tl.errors);
+        let r = std::mem::replace(&mut rows, Json::Null);
+        rows = r.push(row);
+    };
+    for release in [true, false] {
+        add(
+            &mut t,
+            "Michael-Scott (rel/acq)",
+            release,
+            tally(MsQueue::new, release, seeds),
+        );
+    }
+    for release in [true, false] {
+        add(
+            &mut t,
+            "Herlihy-Wing (relaxed)",
+            release,
+            tally(|ctx| HwQueue::new(ctx, 4), release, seeds),
+        );
+    }
     println!("{t}");
     println!(
         "\nExpected shape (paper): with the release flag, `empty` and `violations` \
@@ -80,4 +114,8 @@ fn main() {
          ablation, `empty` appears but `violations`\nstays 0: the outcome is allowed \
          once the external synchronization is gone."
     );
+    let mut m = Metrics::new("e1_mp");
+    m.param("seeds", seeds);
+    m.set("configurations", rows);
+    m.write_or_warn();
 }

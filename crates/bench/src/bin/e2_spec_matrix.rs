@@ -14,10 +14,12 @@
 //! `LAT_hb`, §3.2); the deliberately weakened variants fall off the
 //! hierarchy.
 
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_bench::workloads::queue_spec_stats;
 use compass_structures::buggy::{RelaxedHwQueue, RelaxedMsQueue};
 use compass_structures::queue::{HwQueue, LockQueue, MsQueue};
+use orc11::Json;
 
 fn main() {
     let seeds: u64 = std::env::args()
@@ -33,6 +35,7 @@ fn main() {
         "LAT_hb^hist",
         "model errors",
     ]);
+    let mut matrix = Json::obj();
     let mut add = |name: &str, s: compass_bench::workloads::QueueSpecStats| {
         let [hb, so, abs, hist] = s.percentages();
         t.row(&[
@@ -43,6 +46,8 @@ fn main() {
             hist,
             s.model_errors.to_string(),
         ]);
+        let m = std::mem::replace(&mut matrix, Json::Null);
+        matrix = m.set(name, s.to_json());
     };
     add(
         "coarse-grained (lock)",
@@ -71,4 +76,8 @@ fn main() {
          commit points needs reordering the paper avoids\nby weakening to LAT_hb); \
          the buggy variants drop below 100% on LAT_hb / LAT_so."
     );
+    let mut m = Metrics::new("e2_spec_matrix");
+    m.param("seeds", seeds);
+    m.set("implementations", matrix);
+    m.write_or_warn();
 }

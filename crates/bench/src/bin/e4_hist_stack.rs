@@ -8,6 +8,7 @@
 //! (executions with stale empty-pop reads need the reordering freedom the
 //! `to ⊇ lhb` formulation grants).
 
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_bench::workloads::treiber_hist_stats;
 
@@ -16,7 +17,9 @@ fn main() {
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(500);
-    println!("E4 — linearizable histories for the relaxed Treiber stack (Figure 4), {seeds} seeds\n");
+    println!(
+        "E4 — linearizable histories for the relaxed Treiber stack (Figure 4), {seeds} seeds\n"
+    );
     let s = treiber_hist_stats(0..seeds);
     let mut t = Table::new(&["metric", "count", "of runs"]);
     let row = |t: &mut Table, name: &str, n: u64| {
@@ -24,7 +27,11 @@ fn main() {
     };
     row(&mut t, "StackConsistent (LAT_hb)", s.consistent);
     row(&mut t, "linearization exists (LAT_hb^hist)", s.hist_ok);
-    row(&mut t, "commit (mo) order is itself a witness", s.commit_order_witness);
+    row(
+        &mut t,
+        "commit (mo) order is itself a witness",
+        s.commit_order_witness,
+    );
     row(&mut t, "runs containing empty pops", s.with_emp_pops);
     row(&mut t, "model errors", s.model_errors);
     println!("{t}");
@@ -34,4 +41,8 @@ fn main() {
          where an empty pop read a stale\nnull head — exactly the reordering \
          (`to ⊇ lhb`, not `to = mo`) the spec permits."
     );
+    let mut m = Metrics::new("e4_hist_stack");
+    m.param("seeds", seeds);
+    m.set("treiber", s.to_json());
+    m.write_or_warn();
 }

@@ -6,8 +6,10 @@
 //! stack's `StackConsistent` built compositionally from the base stack's
 //! and exchanger's events; and that eliminations actually occur.
 
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_bench::workloads::elim_stats;
+use orc11::Json;
 
 fn main() {
     let seeds: u64 = std::env::args()
@@ -15,8 +17,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(400);
     println!("E5 — exchanger + elimination stack (Figure 5 / §4), {seeds} seeds\n");
+    let mut by_patience = Json::arr();
     for patience in [1, 3, 6] {
         let s = elim_stats(0..seeds, patience);
+        by_patience = by_patience.push(
+            Json::obj()
+                .set("patience", u64::from(patience))
+                .set("stats", s.to_json()),
+        );
         let mut t = Table::new(&[&format!("patience = {patience}"), "count", "of runs"]);
         let row = |t: &mut Table, name: &str, n: u64| {
             t.row(&[name.to_string(), n.to_string(), s.runs.to_string()]);
@@ -44,4 +52,8 @@ fn main() {
          ⇒ more matches); each eliminated pair is\ntwo successful exchanges committed \
          atomically together."
     );
+    let mut m = Metrics::new("e5_elimination");
+    m.param("seeds", seeds);
+    m.set("by_patience", by_patience);
+    m.write_or_warn();
 }

@@ -11,7 +11,9 @@
 
 use std::path::{Path, PathBuf};
 
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
+use orc11::Json;
 
 fn loc(path: &Path) -> u64 {
     match std::fs::read_to_string(path) {
@@ -61,8 +63,7 @@ fn main() {
         ),
         (
             "Elimination stack",
-            f("crates/structures/src/stack/elimination.rs")
-                + f("crates/compass/src/stack_spec.rs"),
+            f("crates/structures/src/stack/elimination.rs") + f("crates/compass/src/stack_spec.rs"),
         ),
         (
             "Chase-Lev deque (§6 future work)",
@@ -72,17 +73,25 @@ fn main() {
             "SPSC ring (Cosmo's subject)",
             f("crates/structures/src/queue/spsc.rs") + f("crates/compass/src/queue_spec.rs"),
         ),
-        (
-            "Spinlock",
-            f("crates/structures/src/lock.rs"),
-        ),
+        ("Spinlock", f("crates/structures/src/lock.rs")),
     ];
     let clients = [
-        ("MP client (Fig. 1/3)", f("crates/structures/src/clients.rs") / 2),
-        ("SPSC client (§3.2)", f("crates/structures/src/clients.rs") / 2),
+        (
+            "MP client (Fig. 1/3)",
+            f("crates/structures/src/clients.rs") / 2,
+        ),
+        (
+            "SPSC client (§3.2)",
+            f("crates/structures/src/clients.rs") / 2,
+        ),
     ];
 
-    let mut t = Table::new(&["artifact", "kind", "LoC (impl + checkers)", "paper (Coq proof)"]);
+    let mut t = Table::new(&[
+        "artifact",
+        "kind",
+        "LoC (impl + checkers)",
+        "paper (Coq proof)",
+    ]);
     for (name, n) in &libraries {
         t.row(&[
             name.to_string(),
@@ -118,6 +127,7 @@ fn main() {
 
     // Whole-repo inventory, for EXPERIMENTS.md.
     let mut t2 = Table::new(&["crate", "LoC (non-blank, non-comment)"]);
+    let mut crate_loc = Json::obj();
     for c in ["orc11", "compass", "structures", "native", "bench"] {
         let dir = root.join("crates").join(c).join("src");
         let mut total = 0;
@@ -135,6 +145,19 @@ fn main() {
             }
         }
         t2.row(&[format!("crates/{c}"), total.to_string()]);
+        crate_loc = crate_loc.set(c, total);
     }
     println!("\n{t2}");
+
+    let mut m = Metrics::new("e6_sizes");
+    let to_obj = |entries: &[(&str, u64)]| {
+        entries
+            .iter()
+            .fold(Json::obj(), |j, &(name, n)| j.set(name, n))
+    };
+    m.set("libraries_loc", to_obj(&libraries));
+    m.set("clients_loc", to_obj(&clients));
+    m.set("library_median_loc", median);
+    m.set("crates_loc", crate_loc);
+    m.write_or_warn();
 }

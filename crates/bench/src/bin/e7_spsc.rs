@@ -6,9 +6,10 @@
 //! specs by building an SPSC protocol; here it is checked over explored
 //! executions (together with `QueueConsistent`).
 
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_structures::clients::{check_spsc, run_spsc};
-use orc11::random_strategy;
+use orc11::{random_strategy, Json};
 
 fn main() {
     let seeds: u64 = std::env::args()
@@ -16,7 +17,14 @@ fn main() {
         .and_then(|s| s.parse().ok())
         .unwrap_or(200);
     println!("E7 — SPSC client (§3.2), {seeds} seeds per size\n");
-    let mut t = Table::new(&["n", "runs", "array mismatches", "spec violations", "model errors"]);
+    let mut t = Table::new(&[
+        "n",
+        "runs",
+        "array mismatches",
+        "spec violations",
+        "model errors",
+    ]);
+    let mut by_size = Json::arr();
     for n in [1usize, 2, 4, 8, 16] {
         let mut mismatches = 0u64;
         let mut violations = 0u64;
@@ -42,7 +50,19 @@ fn main() {
             violations.to_string(),
             errors.to_string(),
         ]);
+        by_size = by_size.push(
+            Json::obj()
+                .set("n", n)
+                .set("runs", seeds)
+                .set("mismatches", mismatches)
+                .set("violations", violations)
+                .set("model_errors", errors),
+        );
     }
     println!("{t}");
     println!("\nExpected shape (paper §3.2): all failure columns are 0 at every size.");
+    let mut m = Metrics::new("e7_spsc");
+    m.param("seeds", seeds);
+    m.set("by_size", by_size);
+    m.write_or_warn();
 }

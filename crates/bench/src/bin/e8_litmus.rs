@@ -4,7 +4,22 @@
 //! histograms, asserting allowed outcomes appear and forbidden ones never
 //! do.
 
-use orc11::litmus::gallery;
+use compass_bench::metrics::Metrics;
+use orc11::litmus::{gallery, LitmusReport};
+use orc11::Json;
+
+fn litmus_json(r: &LitmusReport) -> Json {
+    let histogram = r.histogram.iter().fold(Json::arr(), |j, (outcome, count)| {
+        j.push(
+            Json::obj()
+                .set("outcome", outcome.clone())
+                .set("count", *count),
+        )
+    });
+    Json::obj()
+        .set("histogram", histogram)
+        .set("report", r.report.to_json())
+}
 
 fn main() {
     let budget: u64 = std::env::args()
@@ -13,53 +28,74 @@ fn main() {
         .unwrap_or(500_000);
 
     println!("E8 — litmus gallery (exhaustive DFS, budget {budget} executions per test)\n");
+    let mut tests = Json::obj();
+    let mut add = |name: &str, r: &LitmusReport| {
+        let t = std::mem::replace(&mut tests, Json::Null);
+        tests = t.set(name, litmus_json(r));
+    };
 
     let mp = gallery::mp_rel_acq().dfs(budget);
     mp.assert_never(&[0, 0]);
     mp.assert_observable(&[0, 1]);
     println!("{mp}  ⇒ stale read FORBIDDEN (release/acquire) ✓\n");
+    add("mp_rel_acq", &mp);
 
     let mpr = gallery::mp_relaxed().dfs(budget);
     mpr.assert_observable(&[0, 0]);
     println!("{mpr}  ⇒ stale read ALLOWED (relaxed flag) ✓\n");
+    add("mp_relaxed", &mpr);
 
     let mpf = gallery::mp_fences().dfs(budget);
     mpf.assert_never(&[0, 0]);
     println!("{mpf}  ⇒ stale read FORBIDDEN (rel/acq fences) ✓\n");
+    add("mp_fences", &mpf);
 
     let sb = gallery::sb().dfs(budget);
     sb.assert_observable(&[0, 0]);
     println!("{sb}  ⇒ store buffering ALLOWED ✓\n");
+    add("sb", &sb);
 
     let corr = gallery::corr().dfs(budget);
     corr.report.assert_all_ok();
     println!("{corr}  ⇒ coherence respected ✓\n");
+    add("corr", &corr);
 
     let iriw = gallery::iriw_acq().dfs(budget);
     iriw.assert_observable(&[0, 0, 10, 10]);
     println!("{iriw}  ⇒ IRIW disagreement ALLOWED under acquire reads (RC11, unlike SC) ✓\n");
+    add("iriw_acq", &iriw);
 
     let lb = gallery::lb().dfs(budget);
     lb.assert_never(&[1, 1]);
     println!("{lb}  ⇒ load buffering FORBIDDEN (po ∪ rf acyclic, the ORC11 restriction) ✓\n");
+    add("lb", &lb);
 
     let ttw = gallery::two_plus_two_w().dfs(budget);
     assert!(!ttw.observed(&[0, 0, 1, 1]));
     println!(
         "{ttw}  ⇒ 2+2W weak outcome absent (append-only mo — documented model limitation) ✓\n"
     );
+    add("two_plus_two_w", &ttw);
 
     let cowr = gallery::cowr().dfs(budget);
     cowr.assert_never(&[0, 0]);
     println!("{cowr}  ⇒ coherence write-read ✓\n");
+    add("cowr", &cowr);
 
     let rs = gallery::release_sequence().dfs(budget);
     rs.assert_never(&[0, 0, 0]);
     println!("{rs}  ⇒ release sequences through relaxed RMWs ✓\n");
+    add("release_sequence", &rs);
 
     let rmw = gallery::rmw_atomicity().dfs(budget);
-    for (outcome, _) in &rmw.histogram {
+    for outcome in rmw.histogram.keys() {
         assert_ne!(outcome.as_slice(), &[1, 1], "RMWs must not duplicate");
     }
     println!("{rmw}  ⇒ RMW atomicity ✓");
+    add("rmw_atomicity", &rmw);
+
+    let mut m = Metrics::new("e8_litmus");
+    m.param("budget", budget);
+    m.set("tests", tests);
+    m.write_or_warn();
 }

@@ -8,15 +8,26 @@
 
 use compass::deque_spec::{check_deque_consistent, mutator_subgraph, DequeInterp};
 use compass::history::find_linearization;
+use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_structures::deque::ChaseLevDeque;
-use orc11::{random_strategy, run_model, BodyFn, Config, ThreadCtx, Val};
+use orc11::{random_strategy, run_model, BodyFn, Config, Json, ThreadCtx, Val};
 
 struct Row {
     consistent: u64,
     hist_ok: u64,
     violations: u64,
     errors: u64,
+}
+
+impl Row {
+    fn to_json(&self) -> Json {
+        Json::obj()
+            .set("consistent", self.consistent)
+            .set("hist_ok", self.hist_ok)
+            .set("violations", self.violations)
+            .set("model_errors", self.errors)
+    }
 }
 
 fn run(make: impl Fn(&mut ThreadCtx, u32) -> ChaseLevDeque + Sync, seeds: u64) -> Row {
@@ -100,4 +111,9 @@ fn main() {
          (violations > 0) — the checker\ncatches the exact defect the SC fences exist \
          to prevent (Lê et al., PPoPP 2013)."
     );
+    let mut m = Metrics::new("e9_deque");
+    m.param("seeds", seeds);
+    m.set("sc_fences", strong.to_json());
+    m.set("acq_rel_fences", weak.to_json());
+    m.write_or_warn();
 }

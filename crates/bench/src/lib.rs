@@ -13,10 +13,13 @@
 //! | `e7_spsc` | §3.2 — SPSC client |
 //! | `e8_litmus` | §2.3/§5 — substrate litmus gallery |
 //!
-//! The `benches/` directory holds the Criterion performance benchmarks
-//! (P1 queues, P2 stacks, P3 checker throughput).
+//! The `benches/` directory holds the performance benchmarks (P1 queues,
+//! P2 stacks, P3 checker throughput, P4 SPSC), built on the in-tree
+//! [`timing`] harness.
 
 #![warn(missing_docs)]
 
+pub mod metrics;
 pub mod table;
+pub mod timing;
 pub mod workloads;

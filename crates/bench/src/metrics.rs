@@ -1,0 +1,143 @@
+//! Machine-readable experiment metrics.
+//!
+//! Every `e*` experiment binary emits, next to its human-readable tables,
+//! one JSON file `experiment-results/<id>.json` (override the directory
+//! with `COMPASS_RESULTS_DIR`). The schema is stable and snapshot-tested
+//! (`tests/metrics_schema.rs`):
+//!
+//! ```json
+//! {
+//!   "schema_version": 1,
+//!   "experiment": "<id>",
+//!   "params": { ... },   // run parameters (seed counts, budgets, ...)
+//!   "data": { ... }      // the experiment's measurements
+//! }
+//! ```
+//!
+//! `params` and `data` are experiment-specific but always objects; every
+//! count is a JSON integer, every ratio a JSON float (the in-tree emitter
+//! guarantees floats stay float-shaped — see [`orc11::Json`]).
+//! `scripts/run_experiments.sh` collects the per-experiment files into
+//! `experiment-results/summary.json`.
+
+use std::io;
+use std::path::PathBuf;
+
+use orc11::Json;
+
+/// The metrics schema version emitted by this crate.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Builder for one experiment's metrics file.
+#[derive(Clone, Debug)]
+pub struct Metrics {
+    id: String,
+    params: Json,
+    data: Json,
+}
+
+impl Metrics {
+    /// Starts metrics for the experiment `id` (the file stem, e.g.
+    /// `"e2_spec_matrix"`).
+    pub fn new(id: &str) -> Self {
+        Metrics {
+            id: id.to_string(),
+            params: Json::obj(),
+            data: Json::obj(),
+        }
+    }
+
+    /// Records a run parameter (seed count, budget, ...).
+    pub fn param(&mut self, key: &str, value: impl Into<Json>) {
+        let params = std::mem::replace(&mut self.params, Json::Null);
+        self.params = params.set(key, value);
+    }
+
+    /// Records a measurement under `data`.
+    pub fn set(&mut self, key: &str, value: impl Into<Json>) {
+        let data = std::mem::replace(&mut self.data, Json::Null);
+        self.data = data.set(key, value);
+    }
+
+    /// The complete document.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("schema_version", SCHEMA_VERSION)
+            .set("experiment", self.id.as_str())
+            .set("params", self.params.clone())
+            .set("data", self.data.clone())
+    }
+
+    /// The output directory: `COMPASS_RESULTS_DIR`, or
+    /// `experiment-results` under the current directory.
+    pub fn results_dir() -> PathBuf {
+        std::env::var_os("COMPASS_RESULTS_DIR")
+            .map(PathBuf::from)
+            .unwrap_or_else(|| PathBuf::from("experiment-results"))
+    }
+
+    /// Writes `<results_dir>/<id>.json` (pretty-rendered) and returns the
+    /// path.
+    ///
+    /// # Errors
+    ///
+    /// Propagates filesystem errors.
+    pub fn write(&self) -> io::Result<PathBuf> {
+        let dir = Self::results_dir();
+        std::fs::create_dir_all(&dir)?;
+        let path = dir.join(format!("{}.json", self.id));
+        std::fs::write(&path, self.to_json().render_pretty())?;
+        Ok(path)
+    }
+
+    /// [`Metrics::write`], reporting the outcome on stderr instead of
+    /// failing — experiment binaries should still print their tables on a
+    /// read-only filesystem.
+    pub fn write_or_warn(&self) {
+        match self.write() {
+            Ok(path) => eprintln!("metrics: wrote {}", path.display()),
+            Err(e) => eprintln!("metrics: cannot write {}.json: {e}", self.id),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_shape() {
+        let mut m = Metrics::new("e0_test");
+        m.param("seeds", 100u64);
+        m.set("consistent", 100u64);
+        m.set("rate", 1.0f64);
+        let j = m.to_json();
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(1)));
+        assert_eq!(j.get("experiment"), Some(&Json::Str("e0_test".into())));
+        assert_eq!(
+            j.get("params").and_then(|p| p.get("seeds")),
+            Some(&Json::Int(100))
+        );
+        assert_eq!(
+            j.get("data").and_then(|d| d.get("rate")),
+            Some(&Json::Float(1.0))
+        );
+    }
+
+    #[test]
+    fn write_respects_results_dir_env() {
+        // Not a great idea to mutate env in parallel tests; write directly
+        // through the path logic instead.
+        let mut m = Metrics::new("e0_write_test");
+        m.set("x", 1u64);
+        let dir = std::env::temp_dir().join(format!("compass-metrics-{}", std::process::id()));
+        // Emulate write() against an explicit dir.
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("e0_write_test.json");
+        std::fs::write(&path, m.to_json().render_pretty()).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(text.ends_with("\n"));
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+}

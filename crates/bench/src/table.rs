@@ -29,6 +29,23 @@ impl Table {
         self.row(&cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
     }
 
+    /// Machine-readable form: an array of objects, one per row, keyed by
+    /// the column headers. Cells stay strings (tables hold pre-formatted
+    /// text); emit raw numbers separately when consumers need them.
+    pub fn to_json(&self) -> orc11::Json {
+        orc11::Json::Arr(
+            self.rows
+                .iter()
+                .map(|row| {
+                    self.header
+                        .iter()
+                        .zip(row.iter())
+                        .fold(orc11::Json::obj(), |j, (h, c)| j.set(h, c.as_str()))
+                })
+                .collect(),
+        )
+    }
+
     /// Renders the table.
     pub fn render(&self) -> String {
         let ncols = self.header.len();

@@ -1,0 +1,167 @@
+//! A tiny timing harness for the `benches/` targets (`harness = false`).
+//!
+//! The repository builds offline with no external crates, so instead of
+//! Criterion the performance benchmarks use this module: fixed sample
+//! count, median-of-samples reporting, and optional element throughput.
+//! It is deliberately simple — the benchmarks exist to show *shape*
+//! (which structure wins where, how checking cost scales), not to defend
+//! microsecond-level claims.
+//!
+//! Results render as a [`crate::table::Table`] and are returned to the
+//! caller so benchmark binaries can also emit machine-readable JSON via
+//! [`crate::metrics`].
+
+use std::time::Instant;
+
+use crate::table::Table;
+
+/// One benchmark measurement.
+#[derive(Clone, Debug)]
+pub struct Sample {
+    /// Benchmark id within the group (e.g. `"treiber/4"`).
+    pub id: String,
+    /// Number of timed iterations.
+    pub iters: u64,
+    /// Median wall time per iteration, nanoseconds.
+    pub median_ns: u64,
+    /// Minimum wall time per iteration, nanoseconds.
+    pub min_ns: u64,
+    /// Elements processed per iteration (for throughput), if declared.
+    pub elements: Option<u64>,
+}
+
+impl Sample {
+    /// Million elements per second at the median, if elements were
+    /// declared and the median is nonzero.
+    pub fn melem_per_sec(&self) -> Option<f64> {
+        let e = self.elements? as f64;
+        if self.median_ns == 0 {
+            return None;
+        }
+        Some(e / self.median_ns as f64 * 1_000.0)
+    }
+}
+
+/// A named group of benchmarks, run eagerly as they are registered.
+#[derive(Debug)]
+pub struct Group {
+    name: String,
+    samples: Vec<Sample>,
+    iters: u64,
+    elements: Option<u64>,
+}
+
+impl Group {
+    /// Creates a group; `iters` timed iterations per benchmark.
+    pub fn new(name: &str, iters: u64) -> Self {
+        eprintln!("# group {name} ({iters} iterations per benchmark)");
+        Group {
+            name: name.to_string(),
+            samples: Vec::new(),
+            iters,
+            elements: None,
+        }
+    }
+
+    /// Declares elements-per-iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, elements: u64) {
+        self.elements = Some(elements);
+    }
+
+    /// Times `f` (after one untimed warm-up call) and records a sample.
+    pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
+        let _warmup = f();
+        let mut times: Vec<u64> = (0..self.iters)
+            .map(|_| {
+                let t0 = Instant::now();
+                let _keep = f();
+                t0.elapsed().as_nanos() as u64
+            })
+            .collect();
+        times.sort_unstable();
+        let sample = Sample {
+            id: id.to_string(),
+            iters: self.iters,
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            elements: self.elements,
+        };
+        eprintln!(
+            "  {:<28} median {:>12} ns{}",
+            sample.id,
+            sample.median_ns,
+            sample
+                .melem_per_sec()
+                .map(|t| format!("  ({t:.2} Melem/s)"))
+                .unwrap_or_default()
+        );
+        self.samples.push(sample);
+    }
+
+    /// Group name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Recorded samples.
+    pub fn samples(&self) -> &[Sample] {
+        &self.samples
+    }
+
+    /// Renders the group as a table and returns the samples.
+    pub fn finish(self) -> Vec<Sample> {
+        let mut t = Table::new(&["benchmark", "median", "min", "throughput"]);
+        for s in &self.samples {
+            t.row(&[
+                s.id.clone(),
+                format_ns(s.median_ns),
+                format_ns(s.min_ns),
+                s.melem_per_sec()
+                    .map(|x| format!("{x:.2} Melem/s"))
+                    .unwrap_or_else(|| "-".to_string()),
+            ]);
+        }
+        println!("\n== {} ==\n{}", self.name, t.render());
+        self.samples
+    }
+}
+
+/// Human formatting for nanosecond durations.
+pub fn format_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} us", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_records_samples_and_throughput() {
+        let mut g = Group::new("t", 3);
+        g.throughput(1_000);
+        g.bench("busy", || std::hint::black_box((0..100u64).sum::<u64>()));
+        assert_eq!(g.samples().len(), 1);
+        let s = &g.samples()[0];
+        assert_eq!(s.iters, 3);
+        assert!(s.min_ns <= s.median_ns);
+        assert_eq!(s.elements, Some(1_000));
+        let rendered = g.finish();
+        assert_eq!(rendered.len(), 1);
+    }
+
+    #[test]
+    fn ns_formatting() {
+        assert_eq!(format_ns(12), "12 ns");
+        assert_eq!(format_ns(1_500), "1.500 us");
+        assert_eq!(format_ns(2_500_000), "2.500 ms");
+        assert_eq!(format_ns(3_000_000_000), "3.000 s");
+    }
+}

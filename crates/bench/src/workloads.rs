@@ -51,6 +51,17 @@ impl QueueSpecStats {
             Self::pct(self.lat_hist, self.runs),
         ]
     }
+
+    /// Machine-readable form (raw counts, not percentages).
+    pub fn to_json(&self) -> orc11::Json {
+        orc11::Json::obj()
+            .set("runs", self.runs)
+            .set("model_errors", self.model_errors)
+            .set("lat_hb", self.lat_hb)
+            .set("lat_so", self.lat_so)
+            .set("lat_abs", self.lat_abs)
+            .set("lat_hist", self.lat_hist)
+    }
 }
 
 /// Runs the mixed MPMC workload (2 producers × 2 enqueues, 2 consumers ×
@@ -124,6 +135,19 @@ pub struct StackHistStats {
     pub commit_order_witness: u64,
     /// Executions containing at least one empty pop.
     pub with_emp_pops: u64,
+}
+
+impl StackHistStats {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> orc11::Json {
+        orc11::Json::obj()
+            .set("runs", self.runs)
+            .set("model_errors", self.model_errors)
+            .set("consistent", self.consistent)
+            .set("hist_ok", self.hist_ok)
+            .set("commit_order_witness", self.commit_order_witness)
+            .set("with_emp_pops", self.with_emp_pops)
+    }
 }
 
 /// Runs the mixed stack workload over `seeds` executions of a
@@ -204,6 +228,21 @@ pub struct ElimStats {
     pub exchanges: u64,
 }
 
+impl ElimStats {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> orc11::Json {
+        orc11::Json::obj()
+            .set("runs", self.runs)
+            .set("model_errors", self.model_errors)
+            .set("es_consistent", self.es_consistent)
+            .set("es_hist_ok", self.es_hist_ok)
+            .set("base_consistent", self.base_consistent)
+            .set("ex_consistent", self.ex_consistent)
+            .set("eliminations", self.eliminations)
+            .set("exchanges", self.exchanges)
+    }
+}
+
 /// Runs the mixed push/pop workload over an [`ElimStack`] and tallies
 /// compositional consistency.
 pub fn elim_stats(seeds: std::ops::Range<u64>, patience: u32) -> ElimStats {
@@ -252,10 +291,7 @@ pub fn elim_stats(seeds: std::ops::Range<u64>, patience: u32) -> ElimStats {
                     stats.ex_consistent += 1;
                 }
                 stats.eliminations += (es.len() - base.len()) as u64 / 2;
-                stats.exchanges += ex
-                    .iter()
-                    .filter(|(_, e)| e.ty.succeeded())
-                    .count() as u64;
+                stats.exchanges += ex.iter().filter(|(_, e)| e.ty.succeeded()).count() as u64;
             }
         }
     }
@@ -273,6 +309,17 @@ pub struct DequeStats {
     pub consistent: u64,
     /// Mutator subgraph admits a linearization.
     pub hist_ok: u64,
+}
+
+impl DequeStats {
+    /// Machine-readable form.
+    pub fn to_json(&self) -> orc11::Json {
+        orc11::Json::obj()
+            .set("runs", self.runs)
+            .set("model_errors", self.model_errors)
+            .set("consistent", self.consistent)
+            .set("hist_ok", self.hist_ok)
+    }
 }
 
 /// Runs the owner+2-thieves workload over `seeds` executions of a

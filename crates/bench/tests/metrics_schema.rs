@@ -1,0 +1,62 @@
+//! Snapshot test pinning the metrics JSON schema.
+//!
+//! Downstream tooling parses `experiment-results/*.json`; this test
+//! freezes the exact rendered shape (key order, indentation, number
+//! formatting) so an accidental schema change fails loudly. Bump
+//! `SCHEMA_VERSION` — and this snapshot — on intentional changes.
+
+use compass_bench::metrics::{Metrics, SCHEMA_VERSION};
+use orc11::Json;
+
+#[test]
+fn schema_version_is_stable() {
+    assert_eq!(SCHEMA_VERSION, 1);
+}
+
+#[test]
+fn rendered_document_matches_snapshot() {
+    let mut m = Metrics::new("e0_snapshot");
+    m.param("seeds", 100u64);
+    m.param("budget", 500_000u64);
+    m.set("consistent", 99u64);
+    m.set("rate", 0.99f64);
+    m.set("whole", 1.0f64);
+    m.set(
+        "by_size",
+        Json::arr().push(Json::obj().set("n", 1u64).set("mismatches", 0u64)),
+    );
+    let expected = r#"{
+  "schema_version": 1,
+  "experiment": "e0_snapshot",
+  "params": {
+    "seeds": 100,
+    "budget": 500000
+  },
+  "data": {
+    "consistent": 99,
+    "rate": 0.99,
+    "whole": 1.0,
+    "by_size": [
+      {
+        "n": 1,
+        "mismatches": 0
+      }
+    ]
+  }
+}
+"#;
+    assert_eq!(m.to_json().render_pretty(), expected);
+}
+
+#[test]
+fn empty_params_and_data_render_as_empty_objects() {
+    let m = Metrics::new("e0_empty");
+    let expected = r#"{
+  "schema_version": 1,
+  "experiment": "e0_empty",
+  "params": {},
+  "data": {}
+}
+"#;
+    assert_eq!(m.to_json().render_pretty(), expected);
+}

@@ -1,0 +1,300 @@
+//! Deterministic violation replay bundles.
+//!
+//! When exploration finds a violating (or racy) execution, everything
+//! needed to understand *and re-execute* it fits in a small directory:
+//!
+//! | file | contents |
+//! |---|---|
+//! | `report.txt`  | rendered failure report ([`crate::report::render_failure`]) |
+//! | `graph.dot`   | Graphviz rendering of the event graph (violations only) |
+//! | `oplog.txt`   | instruction log, if `orc11::Config::record_ops` was set |
+//! | `trace.txt`   | the recorded choice trace, one decision per line |
+//! | `bundle.json` | machine-readable summary (schema below) |
+//!
+//! The trace is the key artefact: the model's only nondeterminism is the
+//! recorded [`Choice`] sequence, so [`replay`] (a [`orc11::replay_strategy`]
+//! over the saved trace) re-executes the *exact* interleaving — same
+//! instruction log, same graph, same violation. `compass::checker`
+//! writes a bundle for the first failure of a run when
+//! [`crate::checker::CheckOptions::bundle_dir`] is set (env:
+//! `COMPASS_BUNDLE_DIR`).
+//!
+//! ## `trace.txt` format (version 1)
+//!
+//! `#`-prefixed lines are comments. Every other line is
+//! `<kind> <chosen> <arity>` where `<kind>` is `T` (thread choice) or `R`
+//! (read choice), e.g. `T 1 3`.
+//!
+//! ## `bundle.json` schema (version 1)
+//!
+//! `{schema_version, kind: "violation"|"model-error", rule, message,
+//! events: [..], origin: {mode, ...}, trace_len, steps, ops_recorded}`.
+
+use std::fs;
+use std::io::{self};
+use std::path::{Path, PathBuf};
+
+use orc11::{render_ops, replay_strategy, Choice, ChoiceKind, Json, RunOutcome, Strategy};
+
+use crate::checker::{CheckTarget, ExecOrigin};
+use crate::spec::Violation;
+
+/// Serializes a choice trace in the `trace.txt` line format.
+pub fn render_trace(trace: &[Choice], origin: &ExecOrigin) -> String {
+    let mut s = String::new();
+    s.push_str("# compass replay trace v1\n");
+    s.push_str(&format!("# origin: {origin}\n"));
+    s.push_str("# <kind T|R> <chosen> <arity>\n");
+    for c in trace {
+        let k = match c.kind {
+            ChoiceKind::Thread => 'T',
+            ChoiceKind::Read => 'R',
+        };
+        s.push_str(&format!("{k} {} {}\n", c.chosen, c.arity));
+    }
+    s
+}
+
+/// Parses the `trace.txt` line format back into a choice trace.
+///
+/// # Errors
+///
+/// `InvalidData` on any malformed line.
+pub fn parse_trace(text: &str) -> io::Result<Vec<Choice>> {
+    let bad = |line: &str| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("malformed trace line: {line:?}"),
+        )
+    };
+    let mut out = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kind = match parts.next() {
+            Some("T") => ChoiceKind::Thread,
+            Some("R") => ChoiceKind::Read,
+            _ => return Err(bad(line)),
+        };
+        let chosen: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(line))?;
+        let arity: u32 = parts
+            .next()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| bad(line))?;
+        if parts.next().is_some() || chosen >= arity {
+            return Err(bad(line));
+        }
+        out.push(Choice {
+            kind,
+            chosen,
+            arity,
+        });
+    }
+    Ok(out)
+}
+
+/// Reads a saved `trace.txt`.
+pub fn load_trace(path: &Path) -> io::Result<Vec<Choice>> {
+    parse_trace(&fs::read_to_string(path)?)
+}
+
+/// Re-executes the exact interleaving of a saved trace.
+///
+/// Thin on purpose: the whole replay mechanism is that `program` is
+/// deterministic given its strategy, so driving it with the recorded
+/// decisions ([`orc11::replay_strategy`]) reproduces the execution
+/// byte-for-byte (instruction log included, if recording is on).
+pub fn replay<G>(
+    trace: &[Choice],
+    program: impl FnOnce(Box<dyn Strategy>) -> RunOutcome<G>,
+) -> RunOutcome<G> {
+    program(replay_strategy(trace))
+}
+
+/// Picks a fresh `root/<stem>[-k]` directory name (no clock, no
+/// randomness: probes for the first unused suffix, so repeat runs get
+/// `-2`, `-3`, ...).
+fn fresh_dir(root: &Path, stem: &str) -> io::Result<PathBuf> {
+    fs::create_dir_all(root)?;
+    for k in 1u32.. {
+        let name = if k == 1 {
+            stem.to_string()
+        } else {
+            format!("{stem}-{k}")
+        };
+        let path = root.join(name);
+        // `create_dir` (not `create_dir_all`) is the existence probe.
+        match fs::create_dir(&path) {
+            Ok(()) => return Ok(path),
+            Err(e) if e.kind() == io::ErrorKind::AlreadyExists => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    unreachable!("u32 suffixes exhausted")
+}
+
+#[allow(clippy::too_many_arguments)]
+fn summary_json(
+    kind: &str,
+    rule: &str,
+    message: &str,
+    events: Vec<String>,
+    origin: &ExecOrigin,
+    steps: u64,
+    trace_len: usize,
+    ops_recorded: bool,
+) -> Json {
+    Json::obj()
+        .set("schema_version", 1u64)
+        .set("kind", kind)
+        .set("rule", rule)
+        .set("message", message)
+        .set("events", events)
+        .set("origin", origin.to_json())
+        .set("trace_len", trace_len)
+        .set("steps", steps)
+        .set("ops_recorded", ops_recorded)
+}
+
+/// Writes a replay bundle for a consistency violation into a fresh
+/// subdirectory of `root` and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_bundle<G: CheckTarget>(
+    root: &Path,
+    g: &G,
+    violation: &Violation,
+    out: &RunOutcome<G>,
+    origin: &ExecOrigin,
+) -> io::Result<PathBuf> {
+    let dir = fresh_dir(root, &format!("violation-{}", violation.rule))?;
+    fs::write(
+        dir.join("report.txt"),
+        g.failure_report(violation, &out.ops),
+    )?;
+    fs::write(dir.join("graph.dot"), g.dot())?;
+    write_common(
+        &dir,
+        out,
+        origin,
+        summary_json(
+            "violation",
+            violation.rule,
+            &violation.message,
+            violation.events.iter().map(|e| e.to_string()).collect(),
+            origin,
+            out.steps,
+            out.trace.len(),
+            !out.ops.is_empty(),
+        ),
+    )?;
+    Ok(dir)
+}
+
+/// Writes a replay bundle for an aborted execution (data race, model
+/// panic) into a fresh subdirectory of `root` and returns its path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_error_bundle<G>(
+    root: &Path,
+    error: &orc11::ModelError,
+    out: &RunOutcome<G>,
+    origin: &ExecOrigin,
+) -> io::Result<PathBuf> {
+    let dir = fresh_dir(root, "model-error")?;
+    fs::write(
+        dir.join("report.txt"),
+        format!("════ MODEL ERROR ════\n{error}\n"),
+    )?;
+    write_common(
+        &dir,
+        out,
+        origin,
+        summary_json(
+            "model-error",
+            "MODEL-ERROR",
+            &error.to_string(),
+            Vec::new(),
+            origin,
+            out.steps,
+            out.trace.len(),
+            !out.ops.is_empty(),
+        ),
+    )?;
+    Ok(dir)
+}
+
+fn write_common<G>(
+    dir: &Path,
+    out: &RunOutcome<G>,
+    origin: &ExecOrigin,
+    summary: Json,
+) -> io::Result<()> {
+    fs::write(dir.join("trace.txt"), render_trace(&out.trace, origin))?;
+    let oplog = if out.ops.is_empty() {
+        "(no instruction log: run with orc11::Config::record_ops = true)\n".to_string()
+    } else {
+        render_ops(&out.ops)
+    };
+    fs::write(dir.join("oplog.txt"), oplog)?;
+    fs::write(dir.join("bundle.json"), summary.render_pretty())?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace() -> Vec<Choice> {
+        vec![
+            Choice {
+                kind: ChoiceKind::Thread,
+                chosen: 1,
+                arity: 3,
+            },
+            Choice {
+                kind: ChoiceKind::Read,
+                chosen: 0,
+                arity: 2,
+            },
+        ]
+    }
+
+    #[test]
+    fn trace_round_trips_through_text() {
+        let t = trace();
+        let text = render_trace(&t, &ExecOrigin::Random { seed: 7 });
+        assert!(text.contains("# origin: random seed 7"));
+        assert_eq!(parse_trace(&text).unwrap(), t);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_trace("X 0 2").is_err());
+        assert!(parse_trace("T 0").is_err());
+        assert!(parse_trace("T 2 2").is_err(), "chosen out of range");
+        assert!(parse_trace("T 0 2 9").is_err(), "trailing field");
+        assert!(parse_trace("# comment\n\nT 0 2").unwrap().len() == 1);
+    }
+
+    #[test]
+    fn fresh_dir_never_collides() {
+        let root = std::env::temp_dir().join(format!("compass-bundle-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&root);
+        let a = fresh_dir(&root, "violation-X").unwrap();
+        let b = fresh_dir(&root, "violation-X").unwrap();
+        assert_ne!(a, b);
+        assert!(b.ends_with("violation-X-2"));
+        fs::remove_dir_all(&root).unwrap();
+    }
+}

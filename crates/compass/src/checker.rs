@@ -1,16 +1,33 @@
 //! A small harness for checking a graph-producing model program against a
 //! consistency predicate over many explored executions.
 //!
-//! Wraps [`orc11`]'s exploration with per-clause violation accounting, so
-//! tests and experiments can say "run this workload under these
-//! strategies and tell me which clauses ever failed".
+//! Wraps [`orc11`]'s exploration with per-clause violation accounting and
+//! run telemetry, so tests and experiments can say "run this workload
+//! under these strategies and tell me which clauses ever failed — and
+//! where the time and the schedule coverage went".
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::path::PathBuf;
+use std::time::Instant;
 
-use orc11::{dfs_strategy, pct_strategy, random_strategy, RunOutcome, Strategy};
+use orc11::{
+    dfs_strategy, next_dfs_prefix, pct_strategy, random_strategy, Coverage, ExecStats, Json,
+    OpRecord, RunOutcome, StepHistogram, Strategy,
+};
 
+use crate::bundle;
+use crate::graph::Graph;
+use crate::history::{self, SearchStats};
 use crate::spec::Violation;
+
+/// The PCT scheduling-decision horizon used by [`Exploration::Pct`] (and
+/// by [`ExecOrigin::strategy`] when reproducing a PCT execution).
+pub const PCT_HORIZON: u64 = 64;
+
+/// The pseudo-rule under which [`CheckReport::check_ns_by_rule`] files
+/// time spent on checks that passed.
+pub const PASS_RULE: &str = "(consistent)";
 
 /// How to explore the schedule space.
 #[derive(Clone, Debug)]
@@ -38,6 +55,123 @@ pub enum Exploration {
     },
 }
 
+/// Which strategy instance produced one particular execution — enough to
+/// re-create that execution's strategy exactly, whatever the exploration
+/// mode ([`ExecOrigin::strategy`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExecOrigin {
+    /// Seeded uniform-random execution.
+    Random {
+        /// The seed.
+        seed: u64,
+    },
+    /// PCT execution (horizon [`PCT_HORIZON`]).
+    Pct {
+        /// The seed.
+        seed: u64,
+        /// Priority-change points.
+        depth: usize,
+    },
+    /// DFS execution: the forced prefix identifies the path (beyond it
+    /// the DFS strategy always picks alternative 0).
+    Dfs {
+        /// Position in DFS order (0-based).
+        index: u64,
+        /// The forced choice prefix.
+        prefix: Vec<u32>,
+    },
+}
+
+impl ExecOrigin {
+    /// Re-creates the strategy that produced this execution; running the
+    /// same program under it reproduces the execution exactly.
+    pub fn strategy(&self) -> Box<dyn Strategy> {
+        match self {
+            ExecOrigin::Random { seed } => random_strategy(*seed),
+            ExecOrigin::Pct { seed, depth } => pct_strategy(*seed, *depth, PCT_HORIZON),
+            ExecOrigin::Dfs { prefix, .. } => dfs_strategy(prefix.clone()),
+        }
+    }
+
+    /// Machine-readable form (for `bundle.json` and experiment metrics).
+    pub fn to_json(&self) -> Json {
+        match self {
+            ExecOrigin::Random { seed } => Json::obj().set("mode", "random").set("seed", *seed),
+            ExecOrigin::Pct { seed, depth } => Json::obj()
+                .set("mode", "pct")
+                .set("seed", *seed)
+                .set("depth", *depth),
+            ExecOrigin::Dfs { index, prefix } => Json::obj()
+                .set("mode", "dfs")
+                .set("index", *index)
+                .set("prefix", prefix.clone()),
+        }
+    }
+}
+
+impl fmt::Display for ExecOrigin {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecOrigin::Random { seed } => write!(f, "random seed {seed}"),
+            ExecOrigin::Pct { seed, depth } => write!(f, "pct seed {seed} depth {depth}"),
+            ExecOrigin::Dfs { index, prefix } => {
+                write!(f, "dfs #{index} prefix {prefix:?}")
+            }
+        }
+    }
+}
+
+/// What [`check_executions`] needs from the checked value: a size for the
+/// graph-size distribution and renderings for replay bundles.
+///
+/// Implemented for every [`Graph`]; implement it for composite results
+/// (e.g. a pair of graphs) if a program checks several objects at once.
+pub trait CheckTarget {
+    /// Number of events (drives [`CheckReport::graph_sizes`]).
+    fn event_count(&self) -> usize;
+    /// Self-contained textual failure report.
+    fn failure_report(&self, violation: &Violation, ops: &[OpRecord]) -> String;
+    /// Graphviz rendering.
+    fn dot(&self) -> String;
+}
+
+impl<T: fmt::Debug> CheckTarget for Graph<T> {
+    fn event_count(&self) -> usize {
+        self.len()
+    }
+    fn failure_report(&self, violation: &Violation, ops: &[OpRecord]) -> String {
+        crate::report::render_failure(self, violation, ops)
+    }
+    fn dot(&self) -> String {
+        crate::dot::to_dot(self, "violation")
+    }
+}
+
+/// Knobs of [`check_executions_with`] that are orthogonal to the
+/// exploration itself.
+#[derive(Clone, Debug, Default)]
+pub struct CheckOptions {
+    /// Write a replay bundle ([`crate::bundle`]) for the run's first
+    /// violation or model error into a fresh subdirectory of this
+    /// directory.
+    pub bundle_dir: Option<PathBuf>,
+    /// Print a throttled progress line (execs/sec, ETA) to stderr.
+    pub progress: bool,
+}
+
+impl CheckOptions {
+    /// Reads the options from the environment: `COMPASS_BUNDLE_DIR` (a
+    /// directory path) and `COMPASS_PROGRESS` (any value but `0`).
+    /// [`check_executions`] uses this, so both toggles work on every
+    /// existing test and experiment binary without code changes.
+    pub fn from_env() -> Self {
+        CheckOptions {
+            bundle_dir: std::env::var_os("COMPASS_BUNDLE_DIR").map(PathBuf::from),
+            progress: std::env::var_os("COMPASS_PROGRESS").is_some_and(|v| v != *"0"),
+        }
+    }
+}
+
 /// Aggregated checking results.
 #[derive(Debug, Default)]
 pub struct CheckReport {
@@ -47,12 +181,31 @@ pub struct CheckReport {
     pub consistent: u64,
     /// Violation counts per clause (`Violation::rule`).
     pub violations: BTreeMap<&'static str, u64>,
-    /// First few concrete violations, for diagnostics.
-    pub samples: Vec<(u64, Violation)>,
+    /// First few concrete violations with the strategy that found each,
+    /// for diagnostics and replay.
+    pub samples: Vec<(ExecOrigin, Violation)>,
     /// Executions that aborted in the model (races, panics, ...).
     pub model_errors: u64,
     /// For DFS: whether the schedule tree was exhausted.
     pub exhausted: bool,
+    /// Model-instruction counters summed over all executions.
+    pub stats: ExecStats,
+    /// Distribution of model instructions per execution.
+    pub steps_hist: StepHistogram,
+    /// Distribution of event-graph sizes over completed executions.
+    pub graph_sizes: StepHistogram,
+    /// Schedule coverage (distinct choice traces; DFS nodes visited).
+    pub coverage: Coverage,
+    /// Linearization-search counters accumulated inside the checks.
+    pub search: SearchStats,
+    /// Wall-clock nanoseconds spent inside the check predicate.
+    pub check_ns: u64,
+    /// [`CheckReport::check_ns`] split by outcome: the violated clause,
+    /// or [`PASS_RULE`] for checks that passed.
+    pub check_ns_by_rule: BTreeMap<&'static str, u64>,
+    /// Where the first failure's replay bundle was written, if
+    /// [`CheckOptions::bundle_dir`] was set and a failure occurred.
+    pub bundle: Option<PathBuf>,
 }
 
 impl CheckReport {
@@ -71,57 +224,218 @@ impl CheckReport {
     pub fn violated(&self, rule: &str) -> bool {
         self.violations.keys().any(|&r| r == rule)
     }
+
+    /// Machine-readable form of the report (see `EXPERIMENTS.md`,
+    /// "Observability & replay", for the schema).
+    pub fn to_json(&self) -> Json {
+        let mut violations = Json::obj();
+        for (&rule, &n) in &self.violations {
+            violations = violations.set(rule, n);
+        }
+        let mut check_ns_by_rule = Json::obj();
+        for (&rule, &ns) in &self.check_ns_by_rule {
+            check_ns_by_rule = check_ns_by_rule.set(rule, ns);
+        }
+        Json::obj()
+            .set("execs", self.execs)
+            .set("consistent", self.consistent)
+            .set("model_errors", self.model_errors)
+            .set("exhausted", self.exhausted)
+            .set("violations", violations)
+            .set(
+                "samples",
+                Json::Arr(
+                    self.samples
+                        .iter()
+                        .map(|(o, v)| {
+                            Json::obj()
+                                .set("origin", o.to_json())
+                                .set("rule", v.rule)
+                                .set("message", v.message.clone())
+                        })
+                        .collect(),
+                ),
+            )
+            .set("stats", self.stats.to_json())
+            .set("steps_hist", self.steps_hist.to_json())
+            .set("graph_sizes", self.graph_sizes.to_json())
+            .set(
+                "coverage",
+                Json::obj()
+                    .set("distinct_traces", self.coverage.distinct_traces())
+                    .set("dfs_nodes", self.coverage.dfs_nodes),
+            )
+            .set(
+                "search",
+                Json::obj()
+                    .set("searches", self.search.searches)
+                    .set("nodes", self.search.nodes)
+                    .set("backtracks", self.search.backtracks)
+                    .set("memo_prunes", self.search.memo_prunes),
+            )
+            .set("check_ns", self.check_ns)
+            .set("check_ns_by_rule", check_ns_by_rule)
+    }
 }
 
 impl fmt::Display for CheckReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{}/{} consistent, {} model errors{}",
+            "{}/{} consistent, {} model errors, {} distinct traces{}",
             self.consistent,
             self.execs,
             self.model_errors,
+            self.coverage.distinct_traces(),
             if self.exhausted { " (exhaustive)" } else { "" }
         )?;
         if !self.violations.is_empty() {
             write!(f, "; violations: {:?}", self.violations)?;
         }
-        if let Some((id, v)) = self.samples.first() {
-            write!(f, "; first: exec {id}: {v}")?;
+        if let Some((origin, v)) = self.samples.first() {
+            write!(f, "; first ({origin}): {v}")?;
         }
         Ok(())
     }
 }
 
+/// Throttled stderr progress line ([`CheckOptions::progress`]).
+struct Progress {
+    enabled: bool,
+    total: u64,
+    start: Instant,
+    last: Instant,
+}
+
+impl Progress {
+    fn new(enabled: bool, total: u64) -> Self {
+        let now = Instant::now();
+        Progress {
+            enabled,
+            total,
+            start: now,
+            last: now,
+        }
+    }
+
+    fn tick(&mut self, done: u64) {
+        if !self.enabled {
+            return;
+        }
+        let now = Instant::now();
+        if now.duration_since(self.last).as_millis() < 200 {
+            return;
+        }
+        self.last = now;
+        let rate = done as f64 / now.duration_since(self.start).as_secs_f64().max(1e-9);
+        if self.total > done {
+            let eta = (self.total - done) as f64 / rate.max(1e-9);
+            eprint!(
+                "\r{done}/{} execs, {rate:.0}/s, ETA {eta:.1}s    ",
+                self.total
+            );
+        } else {
+            eprint!("\r{done} execs, {rate:.0}/s    ");
+        }
+    }
+
+    fn finish(&self, done: u64) {
+        if !self.enabled {
+            return;
+        }
+        let secs = self.start.elapsed().as_secs_f64();
+        eprintln!(
+            "\r{done} execs in {secs:.2}s ({:.0}/s)            ",
+            done as f64 / secs.max(1e-9)
+        );
+    }
+}
+
 /// Runs `program` (a closure from a strategy to a run outcome whose value
 /// is a graph or similar) under `exploration`, checking each completed
-/// execution with `check`.
-pub fn check_executions<G>(
+/// execution with `check`. Options come from the environment
+/// ([`CheckOptions::from_env`]); use [`check_executions_with`] to set
+/// them in code.
+pub fn check_executions<G: CheckTarget>(
     exploration: &Exploration,
+    program: impl FnMut(Box<dyn Strategy>) -> RunOutcome<G>,
+    check: impl FnMut(&G) -> Result<(), Violation>,
+) -> CheckReport {
+    check_executions_with(exploration, &CheckOptions::from_env(), program, check)
+}
+
+/// [`check_executions`] with explicit [`CheckOptions`].
+pub fn check_executions_with<G: CheckTarget>(
+    exploration: &Exploration,
+    opts: &CheckOptions,
     mut program: impl FnMut(Box<dyn Strategy>) -> RunOutcome<G>,
     mut check: impl FnMut(&G) -> Result<(), Violation>,
 ) -> CheckReport {
     let mut report = CheckReport::default();
-    let mut record = |report: &mut CheckReport, id: u64, out: &RunOutcome<G>| {
+    let total = match *exploration {
+        Exploration::Random { iters, .. } | Exploration::Pct { iters, .. } => iters,
+        Exploration::Dfs { budget } => budget,
+    };
+    let mut progress = Progress::new(opts.progress, total);
+    // Discard search counters a previous caller on this thread left
+    // behind, so this report only sees its own checks.
+    let _ = history::take_search_stats();
+    let mut record = |report: &mut CheckReport, origin: ExecOrigin, out: &RunOutcome<G>| {
         report.execs += 1;
+        report.stats.merge(&out.stats);
+        report.steps_hist.record(out.steps);
+        report.coverage.record_trace(&out.trace);
         match &out.result {
-            Err(_) => report.model_errors += 1,
-            Ok(g) => match check(g) {
-                Ok(()) => report.consistent += 1,
-                Err(v) => {
-                    *report.violations.entry(v.rule).or_insert(0) += 1;
-                    if report.samples.len() < 8 {
-                        report.samples.push((id, v));
+            Err(e) => {
+                report.model_errors += 1;
+                if report.bundle.is_none() {
+                    if let Some(dir) = &opts.bundle_dir {
+                        match bundle::write_error_bundle(dir, e, out, &origin) {
+                            Ok(path) => report.bundle = Some(path),
+                            Err(err) => eprintln!("compass: cannot write replay bundle: {err}"),
+                        }
                     }
                 }
-            },
+            }
+            Ok(g) => {
+                report.graph_sizes.record(g.event_count() as u64);
+                let t0 = Instant::now();
+                let result = check(g);
+                let dt = t0.elapsed().as_nanos() as u64;
+                report.check_ns += dt;
+                report.search.merge(&history::take_search_stats());
+                match result {
+                    Ok(()) => {
+                        *report.check_ns_by_rule.entry(PASS_RULE).or_insert(0) += dt;
+                        report.consistent += 1;
+                    }
+                    Err(v) => {
+                        *report.check_ns_by_rule.entry(v.rule).or_insert(0) += dt;
+                        *report.violations.entry(v.rule).or_insert(0) += 1;
+                        if report.bundle.is_none() {
+                            if let Some(dir) = &opts.bundle_dir {
+                                match bundle::write_bundle(dir, g, &v, out, &origin) {
+                                    Ok(path) => report.bundle = Some(path),
+                                    Err(err) => {
+                                        eprintln!("compass: cannot write replay bundle: {err}")
+                                    }
+                                }
+                            }
+                        }
+                        if report.samples.len() < 8 {
+                            report.samples.push((origin, v));
+                        }
+                    }
+                }
+            }
         }
+        progress.tick(report.execs);
     };
     match *exploration {
         Exploration::Random { iters, seed0 } => {
             for i in 0..iters {
                 let out = program(random_strategy(seed0 + i));
-                record(&mut report, seed0 + i, &out);
+                record(&mut report, ExecOrigin::Random { seed: seed0 + i }, &out);
             }
         }
         Exploration::Pct {
@@ -130,39 +444,48 @@ pub fn check_executions<G>(
             depth,
         } => {
             for i in 0..iters {
-                let out = program(pct_strategy(seed0 + i, depth, 64));
-                record(&mut report, seed0 + i, &out);
+                let out = program(pct_strategy(seed0 + i, depth, PCT_HORIZON));
+                record(
+                    &mut report,
+                    ExecOrigin::Pct {
+                        seed: seed0 + i,
+                        depth,
+                    },
+                    &out,
+                );
             }
         }
         Exploration::Dfs { budget } => {
-            // Re-implement the DFS driver so we can see every outcome.
             let mut prefix: Vec<u32> = Vec::new();
             let mut n = 0u64;
-            loop {
-                if n >= budget {
-                    break;
-                }
+            while n < budget {
                 let out = program(dfs_strategy(prefix.clone()));
-                record(&mut report, n, &out);
+                // New DFS-tree nodes: everything past the shared prefix
+                // (the last forced choice was freshly bumped, so only
+                // `prefix.len() - 1` decisions are shared with a
+                // previously visited path).
+                let shared = prefix.len().saturating_sub(1).min(out.trace.len());
+                report.coverage.dfs_nodes += (out.trace.len() - shared) as u64;
+                record(
+                    &mut report,
+                    ExecOrigin::Dfs {
+                        index: n,
+                        prefix: prefix.clone(),
+                    },
+                    &out,
+                );
                 n += 1;
-                let mut trace: Vec<(u32, u32)> =
-                    out.trace.iter().map(|c| (c.chosen, c.arity)).collect();
-                let mut backtracked = false;
-                while let Some((chosen, arity)) = trace.pop() {
-                    if chosen + 1 < arity {
-                        trace.push((chosen + 1, arity));
-                        prefix = trace.iter().map(|&(c, _)| c).collect();
-                        backtracked = true;
+                match next_dfs_prefix(&out.trace) {
+                    Some(p) => prefix = p,
+                    None => {
+                        report.exhausted = true;
                         break;
                     }
-                }
-                if !backtracked {
-                    report.exhausted = true;
-                    break;
                 }
             }
         }
     }
+    progress.finish(report.execs);
     report
 }
 
@@ -171,7 +494,7 @@ mod tests {
     use super::*;
     use crate::queue_spec::{check_queue_consistent, QueueEvent};
     use crate::Graph;
-    use orc11::{run_model, BodyFn, Config, Val};
+    use orc11::{run_model, BodyFn, Config, Mode, Val};
 
     fn trivial_program(strategy: Box<dyn Strategy>) -> RunOutcome<Graph<QueueEvent>> {
         run_model(
@@ -179,7 +502,7 @@ mod tests {
             strategy,
             |ctx| ctx.alloc("x", Val::Int(0)),
             vec![Box::new(|ctx: &mut orc11::ThreadCtx, &l: &orc11::Loc| {
-                ctx.write(l, Val::Int(1), orc11::Mode::Release);
+                ctx.write(l, Val::Int(1), Mode::Release);
             }) as BodyFn<'_, _, ()>],
             |_, _, _| Graph::new(),
         )
@@ -188,21 +511,30 @@ mod tests {
     #[test]
     fn random_exploration_counts() {
         let report = check_executions(
-            &Exploration::Random { iters: 10, seed0: 0 },
+            &Exploration::Random {
+                iters: 10,
+                seed0: 0,
+            },
             trivial_program,
-            |g| check_queue_consistent(g),
+            check_queue_consistent,
         );
         assert_eq!(report.execs, 10);
         report.assert_clean();
+        // Telemetry: every execution wrote once and allocated once.
+        assert_eq!(report.stats.writes.total(), 10);
+        assert_eq!(report.stats.allocs, 10);
+        assert_eq!(report.steps_hist.count(), 10);
+        assert_eq!(report.graph_sizes.count(), 10);
+        assert!(report.coverage.distinct_traces() >= 1);
+        assert_eq!(report.check_ns_by_rule.len(), 1);
+        assert!(report.check_ns_by_rule.contains_key(PASS_RULE));
     }
 
     #[test]
     fn dfs_exhausts_trivial_program() {
-        let report = check_executions(
-            &Exploration::Dfs { budget: 100 },
-            trivial_program,
-            |g| check_queue_consistent(g),
-        );
+        let report = check_executions(&Exploration::Dfs { budget: 100 }, trivial_program, |g| {
+            check_queue_consistent(g)
+        });
         assert!(report.exhausted);
         report.assert_clean();
     }
@@ -232,5 +564,95 @@ mod tests {
         assert!(report.violated("TEST-RULE"));
         assert!(!report.violated("OTHER"));
         assert!(report.to_string().contains("TEST-RULE"));
+        // Per-clause timing covers both outcomes.
+        assert!(report.check_ns_by_rule.contains_key("TEST-RULE"));
+        assert!(report.check_ns_by_rule.contains_key(PASS_RULE));
+        assert!(report.check_ns >= report.check_ns_by_rule["TEST-RULE"]);
+    }
+
+    #[test]
+    fn samples_carry_their_origin_per_mode() {
+        let explorations = [
+            Exploration::Random {
+                iters: 3,
+                seed0: 40,
+            },
+            Exploration::Pct {
+                iters: 3,
+                seed0: 40,
+                depth: 2,
+            },
+            Exploration::Dfs { budget: 3 },
+        ];
+        for e in &explorations {
+            let report =
+                check_executions_with(e, &CheckOptions::default(), trivial_program, |_| {
+                    Err(Violation::new("TEST-RULE", "always", vec![]))
+                });
+            // DFS may exhaust its (tiny) tree before the budget.
+            assert_eq!(report.samples.len() as u64, report.execs.min(8));
+            assert!(!report.samples.is_empty());
+            let (first, _) = &report.samples[0];
+            match (e, first) {
+                (Exploration::Random { .. }, ExecOrigin::Random { seed }) => {
+                    assert_eq!(*seed, 40);
+                }
+                (Exploration::Pct { .. }, ExecOrigin::Pct { seed, depth }) => {
+                    assert_eq!((*seed, *depth), (40, 2));
+                }
+                (Exploration::Dfs { .. }, ExecOrigin::Dfs { index, prefix }) => {
+                    assert_eq!(*index, 0);
+                    assert!(prefix.is_empty());
+                }
+                (e, o) => panic!("origin {o:?} does not match exploration {e:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn origin_strategy_reproduces_the_execution() {
+        let report = check_executions_with(
+            &Exploration::Pct {
+                iters: 4,
+                seed0: 9,
+                depth: 2,
+            },
+            &CheckOptions::default(),
+            trivial_program,
+            |_| Err(Violation::new("TEST-RULE", "always", vec![])),
+        );
+        let (origin, _) = &report.samples[1];
+        let a = trivial_program(origin.strategy());
+        let b = trivial_program(origin.strategy());
+        assert_eq!(a.trace, b.trace);
+        assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn report_json_has_the_documented_keys() {
+        let report = check_executions(
+            &Exploration::Random { iters: 4, seed0: 0 },
+            trivial_program,
+            check_queue_consistent,
+        );
+        let j = report.to_json();
+        for key in [
+            "execs",
+            "consistent",
+            "model_errors",
+            "exhausted",
+            "violations",
+            "samples",
+            "stats",
+            "steps_hist",
+            "graph_sizes",
+            "coverage",
+            "search",
+            "check_ns",
+            "check_ns_by_rule",
+        ] {
+            assert!(j.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(j.get("execs"), Some(&Json::Int(4)));
     }
 }

@@ -174,9 +174,9 @@ pub fn check_empty(g: &Graph<DequeEvent>) -> SpecResult {
             if pe.ty.push_value().is_none() || !g.lhb(p, d) {
                 continue;
             }
-            let justified = g.so_target(p).is_some_and(|t| {
-                !g.lhb(d, t) || matches!(g.event(t).ty, DequeEvent::Pop(_))
-            });
+            let justified = g
+                .so_target(p)
+                .is_some_and(|t| !g.lhb(d, t) || matches!(g.event(t).ty, DequeEvent::Pop(_)));
             if !justified {
                 return Err(Violation::new(
                     "DEQUE-EMPTY",
@@ -203,9 +203,7 @@ pub fn check_empty(g: &Graph<DequeEvent>) -> SpecResult {
 /// check for deques is therefore: the *mutator* subgraph linearizes, and
 /// the empty results satisfy the graph-based [`check_empty`] clause.
 pub fn mutator_subgraph(g: &Graph<DequeEvent>) -> Graph<DequeEvent> {
-    g.retain(|_, ev| {
-        !matches!(ev.ty, DequeEvent::EmpSteal | DequeEvent::EmpPop)
-    })
+    g.retain(|_, ev| !matches!(ev.ty, DequeEvent::EmpSteal | DequeEvent::EmpPop))
 }
 
 /// The full `DequeConsistent` predicate.
@@ -348,10 +346,7 @@ mod tests {
     #[test]
     fn steal_without_sync_is_caught() {
         let v = Val::Int(1);
-        let g = graph(
-            &[(Push(v), 1, 1, &[]), (Steal(v), 2, 2, &[])],
-            &[(0, 1)],
-        );
+        let g = graph(&[(Push(v), 1, 1, &[]), (Steal(v), 2, 2, &[])], &[(0, 1)]);
         assert_eq!(check_so_lhb(&g).unwrap_err().rule, "DEQUE-SO-LHB");
     }
 
@@ -361,7 +356,10 @@ mod tests {
         let st = i.apply(&Default::default(), &Push(Val::Int(1))).unwrap();
         let st = i.apply(&st, &Push(Val::Int(2))).unwrap();
         assert!(i.apply(&st, &Pop(Val::Int(1))).is_none(), "owner pops back");
-        assert!(i.apply(&st, &Steal(Val::Int(2))).is_none(), "thief steals front");
+        assert!(
+            i.apply(&st, &Steal(Val::Int(2))).is_none(),
+            "thief steals front"
+        );
         let st = i.apply(&st, &Steal(Val::Int(1))).unwrap();
         let st = i.apply(&st, &Pop(Val::Int(2))).unwrap();
         i.apply(&st, &EmpPop).unwrap();
@@ -391,7 +389,9 @@ mod subgraph_tests {
         let m = mutator_subgraph(&g);
         assert_eq!(m.len(), 2);
         // Ids compacted: push is now e0, pop e1, so edge remapped.
-        assert!(m.so().contains(&(EventId::from_raw(0), EventId::from_raw(1))));
+        assert!(m
+            .so()
+            .contains(&(EventId::from_raw(0), EventId::from_raw(1))));
         assert!(m.lhb(EventId::from_raw(0), EventId::from_raw(1)));
         m.check_well_formed().unwrap();
     }

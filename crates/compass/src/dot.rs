@@ -57,9 +57,7 @@ pub fn to_dot<T: Debug>(g: &Graph<T>, name: &str) -> String {
             .filter(|&e| e != d && !(g.lhb(d, e) && e > d))
             .collect();
         for &e in &preds {
-            let implied = preds
-                .iter()
-                .any(|&m| m != e && g.lhb(e, m));
+            let implied = preds.iter().any(|&m| m != e && g.lhb(e, m));
             if !implied && !g.so().contains(&(e, d)) {
                 let _ = writeln!(out, "  {e} -> {d} [style=dashed, color=gray40];");
             }

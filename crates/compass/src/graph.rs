@@ -111,19 +111,13 @@ impl<T> Graph<T> {
     /// The unique `so`-successor of `e`, if any (e.g. the dequeue matching
     /// an enqueue).
     pub fn so_target(&self, e: EventId) -> Option<EventId> {
-        self.so
-            .iter()
-            .find(|&&(a, _)| a == e)
-            .map(|&(_, b)| b)
+        self.so.iter().find(|&&(a, _)| a == e).map(|&(_, b)| b)
     }
 
     /// The unique `so`-predecessor of `d`, if any (e.g. the enqueue a
     /// dequeue took its value from).
     pub fn so_source(&self, d: EventId) -> Option<EventId> {
-        self.so
-            .iter()
-            .find(|&&(_, b)| b == d)
-            .map(|&(a, _)| a)
+        self.so.iter().find(|&&(_, b)| b == d).map(|&(a, _)| a)
     }
 
     /// Structural well-formedness of logical views:

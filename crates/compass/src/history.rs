@@ -2,6 +2,7 @@
 //! order `to` that *respects* (but need not imply) local happens-before
 //! and interprets to a sequential abstract state.
 
+use std::cell::RefCell;
 use std::collections::HashSet;
 use std::fmt;
 use std::hash::Hash;
@@ -103,6 +104,68 @@ impl SeqInterp for StackInterp {
     }
 }
 
+/// Counters for the linearization search ([`find_linearization`]).
+///
+/// The search is the checker's only super-linear component, so these are
+/// the numbers to look at when a spec check is slow: `nodes` is the size
+/// of the explored search tree, `backtracks` how much of it was dead
+/// ends, and `memo_prunes` how much the (done-set, abstract-state)
+/// memoization saved.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct SearchStats {
+    /// Completed calls to [`find_linearization`].
+    pub searches: u64,
+    /// Search-tree nodes expanded (events tentatively appended to `to`).
+    pub nodes: u64,
+    /// Nodes retracted after their subtree failed.
+    pub backtracks: u64,
+    /// Subtrees skipped because an equivalent (done-set, state) pair had
+    /// already failed.
+    pub memo_prunes: u64,
+}
+
+impl SearchStats {
+    /// Adds `other`'s counters into `self`.
+    pub fn merge(&mut self, other: &SearchStats) {
+        self.searches += other.searches;
+        self.nodes += other.nodes;
+        self.backtracks += other.backtracks;
+        self.memo_prunes += other.memo_prunes;
+    }
+}
+
+impl fmt::Display for SearchStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} searches, {} nodes ({} backtracks, {} memo prunes)",
+            self.searches, self.nodes, self.backtracks, self.memo_prunes
+        )
+    }
+}
+
+thread_local! {
+    /// Per-thread accumulator filled by [`find_linearization`] and
+    /// drained by [`take_search_stats`]. Thread-local (not a parameter)
+    /// so the checker can observe searches that happen inside opaque
+    /// user-supplied check closures.
+    static SEARCH_STATS: RefCell<SearchStats> = const { RefCell::new(SearchStats {
+        searches: 0,
+        nodes: 0,
+        backtracks: 0,
+        memo_prunes: 0,
+    }) };
+}
+
+/// Returns the search counters accumulated on this thread since the last
+/// call, resetting them to zero.
+///
+/// `compass::checker::check_executions` drains this after every check to
+/// attribute linearization-search work to its report.
+pub fn take_search_stats() -> SearchStats {
+    SEARCH_STATS.with(|s| std::mem::take(&mut *s.borrow_mut()))
+}
+
 /// A growable bitset over event indices.
 #[derive(Clone, PartialEq, Eq, Hash, Debug, Default)]
 struct BitSet(Vec<u64>);
@@ -157,6 +220,7 @@ pub fn find_linearization<I: SeqInterp>(
 ) -> Option<Vec<EventId>> {
     let n = g.len();
     if n == 0 {
+        SEARCH_STATS.with(|s| s.borrow_mut().searches += 1);
         return Some(Vec::new());
     }
     // preds[i] = events that must precede i.
@@ -177,24 +241,26 @@ pub fn find_linearization<I: SeqInterp>(
     // Mutual lhb (helping pairs have each other in their logviews) would
     // make the constraints unsatisfiable; keep only the id-ordered half
     // (helpee before helper).
-    for i in 0..n {
+    for (i, pred) in preds.iter_mut().enumerate() {
         let me = EventId::from_raw(i as u64);
-        preds[i].retain(|&p| {
-            let mutual = g
-                .event(EventId::from_raw(p as u64))
-                .logview
-                .contains(&me);
+        pred.retain(|&p| {
+            let mutual = g.event(EventId::from_raw(p as u64)).logview.contains(&me);
             !(mutual && p > i)
         });
-        preds[i].sort_unstable();
-        preds[i].dedup();
+        pred.sort_unstable();
+        pred.dedup();
     }
 
     let mut done = BitSet::new(n);
     let mut order: Vec<EventId> = Vec::with_capacity(n);
     let mut memo: HashSet<(BitSet, I::State)> = HashSet::new();
     let state = I::State::default();
+    let mut stats = SearchStats {
+        searches: 1,
+        ..SearchStats::default()
+    };
 
+    #[allow(clippy::too_many_arguments)]
     fn dfs<I: SeqInterp>(
         g: &Graph<I::Ev>,
         interp: &I,
@@ -203,12 +269,14 @@ pub fn find_linearization<I: SeqInterp>(
         order: &mut Vec<EventId>,
         state: &I::State,
         memo: &mut HashSet<(BitSet, I::State)>,
+        stats: &mut SearchStats,
         n: usize,
     ) -> bool {
         if order.len() == n {
             return true;
         }
         if !memo.insert((done.clone(), state.clone())) {
+            stats.memo_prunes += 1;
             return false;
         }
         for i in 0..n {
@@ -219,17 +287,23 @@ pub fn find_linearization<I: SeqInterp>(
             if let Some(next) = interp.apply(state, &g.event(id).ty) {
                 done.set(i);
                 order.push(id);
-                if dfs(g, interp, preds, done, order, &next, memo, n) {
+                stats.nodes += 1;
+                if dfs(g, interp, preds, done, order, &next, memo, stats, n) {
                     return true;
                 }
                 order.pop();
                 done.clear(i);
+                stats.backtracks += 1;
             }
         }
         false
     }
 
-    if dfs(g, interp, &preds, &mut done, &mut order, &state, &mut memo, n) {
+    let found = dfs(
+        g, interp, &preds, &mut done, &mut order, &state, &mut memo, &mut stats, n,
+    );
+    SEARCH_STATS.with(|s| s.borrow_mut().merge(&stats));
+    if found {
         Some(order)
     } else {
         None
@@ -287,7 +361,10 @@ pub fn validate_linearization<I: SeqInterp>(
             None => {
                 return Err(Violation::new(
                     "HIST-INTERP",
-                    format!("{id} ({:?}-th in to) is not sequentially enabled", pos[id.index()]),
+                    format!(
+                        "{id} ({:?}-th in to) is not sequentially enabled",
+                        pos[id.index()]
+                    ),
                     vec![id],
                 ))
             }
@@ -364,10 +441,7 @@ mod tests {
         // Commit order is Deq-before-Enq-completion impossible sequentially;
         // here: events with NO lhb edges, committed in a "wrong" order, and
         // the search must reorder them.
-        let g = graph(&[
-            (Deq(Val::Int(1)), 10, &[]),
-            (Enq(Val::Int(1)), 20, &[]),
-        ]);
+        let g = graph(&[(Deq(Val::Int(1)), 10, &[]), (Enq(Val::Int(1)), 20, &[])]);
         let to = find_linearization(&g, &QueueInterp, &[]).unwrap();
         assert_eq!(to, vec![id(1), id(0)]);
         validate_linearization(&g, &QueueInterp, &to).unwrap();
@@ -377,10 +451,7 @@ mod tests {
     fn respects_lhb_constraints() {
         // EmpDeq happens-after the enqueue: no valid linearization (the
         // enqueue would have to come first but then the queue is nonempty).
-        let g = graph(&[
-            (Enq(Val::Int(1)), 1, &[]),
-            (EmpDeq, 2, &[0]),
-        ]);
+        let g = graph(&[(Enq(Val::Int(1)), 1, &[]), (EmpDeq, 2, &[0])]);
         assert!(find_linearization(&g, &QueueInterp, &[]).is_none());
         assert!(check_linearizable(&g, &QueueInterp).is_err());
     }
@@ -388,20 +459,14 @@ mod tests {
     #[test]
     fn emppop_can_slide_before_concurrent_push() {
         // The empty pop is concurrent with the push: linearize it first.
-        let g = graph(&[
-            (Push(Val::Int(1)), 1, &[]),
-            (EmpPop, 2, &[]),
-        ]);
+        let g = graph(&[(Push(Val::Int(1)), 1, &[]), (EmpPop, 2, &[])]);
         let to = find_linearization(&g, &StackInterp, &[]).unwrap();
         assert_eq!(to, vec![id(1), id(0)]);
     }
 
     #[test]
     fn extra_edges_constrain_search() {
-        let g = graph(&[
-            (Push(Val::Int(1)), 1, &[]),
-            (EmpPop, 2, &[]),
-        ]);
+        let g = graph(&[(Push(Val::Int(1)), 1, &[]), (EmpPop, 2, &[])]);
         // Forcing push before emp-pop makes it unsatisfiable.
         assert!(find_linearization(&g, &StackInterp, &[(id(0), id(1))]).is_none());
     }
@@ -422,10 +487,7 @@ mod tests {
 
     #[test]
     fn validate_rejects_bad_orders() {
-        let g = graph(&[
-            (Enq(Val::Int(1)), 1, &[]),
-            (Deq(Val::Int(1)), 2, &[0]),
-        ]);
+        let g = graph(&[(Enq(Val::Int(1)), 1, &[]), (Deq(Val::Int(1)), 2, &[0])]);
         // Wrong length.
         assert!(validate_linearization(&g, &QueueInterp, &[id(0)]).is_err());
         // Duplicate.
@@ -458,5 +520,48 @@ mod tests {
         let g: Graph<QueueEvent> = Graph::new();
         assert_eq!(find_linearization(&g, &QueueInterp, &[]), Some(vec![]));
         check_linearizable(&g, &QueueInterp).unwrap();
+    }
+
+    #[test]
+    fn search_stats_accumulate_and_drain() {
+        let _ = take_search_stats();
+        let g = graph(&[(Enq(Val::Int(1)), 1, &[]), (Deq(Val::Int(1)), 2, &[0])]);
+        find_linearization(&g, &QueueInterp, &[]).unwrap();
+        let s = take_search_stats();
+        assert_eq!(s.searches, 1);
+        // The straight-line history linearizes without retraction.
+        assert_eq!(s.nodes, 2);
+        assert_eq!(s.backtracks, 0);
+        // Drained: a second take sees zeros.
+        assert_eq!(take_search_stats(), SearchStats::default());
+    }
+
+    #[test]
+    fn failed_search_counts_backtracks() {
+        let _ = take_search_stats();
+        // EmpDeq after the enqueue: unsatisfiable, so every expansion is
+        // eventually retracted.
+        let g = graph(&[(Enq(Val::Int(1)), 1, &[]), (EmpDeq, 2, &[0])]);
+        assert!(find_linearization(&g, &QueueInterp, &[]).is_none());
+        let s = take_search_stats();
+        assert_eq!(s.searches, 1);
+        assert!(s.nodes > 0);
+        assert_eq!(s.backtracks, s.nodes, "all expansions fail: {s}");
+    }
+
+    #[test]
+    fn memo_prunes_are_counted() {
+        let _ = take_search_stats();
+        // Two independent enqueues followed by an impossible dequeue: both
+        // enqueue interleavings reach the same {0,1}-done state, so the
+        // second hits the memo.
+        let g = graph(&[
+            (Enq(Val::Int(1)), 1, &[]),
+            (Enq(Val::Int(1)), 2, &[]),
+            (Deq(Val::Int(9)), 3, &[0, 1]),
+        ]);
+        assert!(find_linearization(&g, &QueueInterp, &[]).is_none());
+        let s = take_search_stats();
+        assert!(s.memo_prunes > 0, "expected memo hits: {s}");
     }
 }

@@ -67,6 +67,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod abs;
+pub mod bundle;
 pub mod checker;
 pub mod deque_spec;
 pub mod dot;
@@ -82,8 +83,10 @@ pub mod spec;
 pub mod spsc_spec;
 pub mod stack_spec;
 
+pub use checker::{CheckOptions, CheckReport, CheckTarget, ExecOrigin, Exploration};
 pub use event::{Event, EventId};
 pub use graph::Graph;
+pub use history::SearchStats;
 pub use object::LibObj;
 pub use seen::Seen;
 pub use spec::{SpecResult, Violation};

@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 
-use parking_lot::{Mutex, MutexGuard};
+use orc11::sync::{Mutex, MutexGuard};
 
 use orc11::{GhostHandle, ThreadCtx};
 
@@ -196,16 +196,20 @@ mod tests {
                 (flag, LibObj::<&'static str>::new("q"))
             },
             vec![
-                Box::new(|ctx: &mut orc11::ThreadCtx, (flag, obj): &(Loc, LibObj<&str>)| {
-                    ctx.write_with(*flag, Val::Int(1), Mode::Release, |gh| {
-                        obj.commit(gh, "enq");
-                    });
-                    BTreeSet::new()
-                }) as BodyFn<'_, _, BTreeSet<EventId>>,
-                Box::new(|ctx: &mut orc11::ThreadCtx, (flag, obj): &(Loc, LibObj<&str>)| {
-                    ctx.read_await(*flag, Mode::Acquire, |v| v == Val::Int(1));
-                    obj.seen(ctx)
-                }),
+                Box::new(
+                    |ctx: &mut orc11::ThreadCtx, (flag, obj): &(Loc, LibObj<&str>)| {
+                        ctx.write_with(*flag, Val::Int(1), Mode::Release, |gh| {
+                            obj.commit(gh, "enq");
+                        });
+                        BTreeSet::new()
+                    },
+                ) as BodyFn<'_, _, BTreeSet<EventId>>,
+                Box::new(
+                    |ctx: &mut orc11::ThreadCtx, (flag, obj): &(Loc, LibObj<&str>)| {
+                        ctx.read_await(*flag, Mode::Acquire, |v| v == Val::Int(1));
+                        obj.seen(ctx)
+                    },
+                ),
             ],
             |_, (_, obj), outs| {
                 let g = obj.snapshot();
@@ -228,14 +232,16 @@ mod tests {
                 let l = ctx.alloc("x", Val::Int(0));
                 (l, LibObj::<u32>::new("s"))
             },
-            vec![Box::new(|ctx: &mut orc11::ThreadCtx, (l, obj): &(Loc, LibObj<u32>)| {
-                ctx.write_with(*l, Val::Int(1), Mode::Release, |gh| {
-                    obj.commit(gh, 1);
-                });
-                ctx.write_with(*l, Val::Int(2), Mode::Release, |gh| {
-                    obj.commit(gh, 2);
-                });
-            }) as BodyFn<'_, _, ()>],
+            vec![Box::new(
+                |ctx: &mut orc11::ThreadCtx, (l, obj): &(Loc, LibObj<u32>)| {
+                    ctx.write_with(*l, Val::Int(1), Mode::Release, |gh| {
+                        obj.commit(gh, 1);
+                    });
+                    ctx.write_with(*l, Val::Int(2), Mode::Release, |gh| {
+                        obj.commit(gh, 2);
+                    });
+                },
+            ) as BodyFn<'_, _, ()>],
             |_, (_, obj), _| {
                 let g = obj.snapshot();
                 g.check_well_formed().unwrap();
@@ -257,13 +263,27 @@ mod tests {
                 let l = ctx.alloc("slot", Val::Int(0));
                 (l, LibObj::<&'static str>::new("x"))
             },
-            vec![Box::new(|ctx: &mut orc11::ThreadCtx, (l, obj): &(Loc, LibObj<&str>)| {
-                let _ = ctx.cas_with(*l, Val::Int(0), Val::Int(1), Mode::AcqRel, Mode::Relaxed, |res, gh| {
-                    assert!(res.new.is_some());
-                    let helper_tid = gh.tid();
-                    obj.commit_pair(gh, (7, "helpee"), (helper_tid, "helper"), &[(0, 1), (1, 0)]);
-                });
-            }) as BodyFn<'_, _, ()>],
+            vec![Box::new(
+                |ctx: &mut orc11::ThreadCtx, (l, obj): &(Loc, LibObj<&str>)| {
+                    let _ = ctx.cas_with(
+                        *l,
+                        Val::Int(0),
+                        Val::Int(1),
+                        Mode::AcqRel,
+                        Mode::Relaxed,
+                        |res, gh| {
+                            assert!(res.new.is_some());
+                            let helper_tid = gh.tid();
+                            obj.commit_pair(
+                                gh,
+                                (7, "helpee"),
+                                (helper_tid, "helper"),
+                                &[(0, 1), (1, 0)],
+                            );
+                        },
+                    );
+                },
+            ) as BodyFn<'_, _, ()>],
             |_, (_, obj), _| {
                 let g = obj.snapshot();
                 g.check_well_formed().unwrap();

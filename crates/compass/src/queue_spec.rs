@@ -191,9 +191,7 @@ pub fn check_empdeq(g: &Graph<QueueEvent>) -> SpecResult {
             if ee.ty.enq_value().is_none() || !g.lhb(e, d) {
                 continue;
             }
-            let dequeued_before = g
-                .so_target(e)
-                .is_some_and(|d2| g.event(d2).step < ev.step);
+            let dequeued_before = g.so_target(e).is_some_and(|d2| g.event(d2).step < ev.step);
             if !dequeued_before {
                 return Err(Violation::new(
                     "QUEUE-EMPDEQ",
@@ -304,11 +302,7 @@ mod tests {
     fn double_dequeue_fails_injectivity() {
         let v = Val::Int(7);
         let g = graph(
-            &[
-                (Enq(v), 1, &[]),
-                (Deq(v), 2, &[0]),
-                (Deq(v), 3, &[0]),
-            ],
+            &[(Enq(v), 1, &[]), (Deq(v), 2, &[0]), (Deq(v), 3, &[0])],
             &[(0, 1), (0, 2)],
         );
         assert_eq!(check_injective(&g).unwrap_err().rule, "QUEUE-INJ");
@@ -376,10 +370,7 @@ mod tests {
     #[test]
     fn empdeq_violation_detected() {
         // The empty dequeue happens-after an un-dequeued enqueue.
-        let g = graph(
-            &[(Enq(Val::Int(1)), 1, &[]), (EmpDeq, 2, &[0])],
-            &[],
-        );
+        let g = graph(&[(Enq(Val::Int(1)), 1, &[]), (EmpDeq, 2, &[0])], &[]);
         assert_eq!(check_empdeq(&g).unwrap_err().rule, "QUEUE-EMPDEQ");
     }
 
@@ -387,10 +378,7 @@ mod tests {
     fn empdeq_ok_when_not_synchronized() {
         // The enqueue is concurrent (not in the empty dequeue's logview):
         // a weak dequeue may miss it.
-        let g = graph(
-            &[(Enq(Val::Int(1)), 1, &[]), (EmpDeq, 2, &[])],
-            &[],
-        );
+        let g = graph(&[(Enq(Val::Int(1)), 1, &[]), (EmpDeq, 2, &[])], &[]);
         check_empdeq(&g).unwrap();
     }
 
@@ -398,11 +386,7 @@ mod tests {
     fn empdeq_ok_when_element_was_taken() {
         let v = Val::Int(1);
         let g = graph(
-            &[
-                (Enq(v), 1, &[]),
-                (Deq(v), 2, &[0]),
-                (EmpDeq, 3, &[0, 1]),
-            ],
+            &[(Enq(v), 1, &[]), (Deq(v), 2, &[0]), (EmpDeq, 3, &[0, 1])],
             &[(0, 1)],
         );
         check_queue_consistent(&g).unwrap();
@@ -422,10 +406,7 @@ mod tests {
             &[(1, 2), (0, 3)],
         );
         // Even the final check sees the step ordering here:
-        assert_eq!(
-            check_queue_consistent(&g).unwrap_err().rule,
-            "QUEUE-FIFO"
-        );
+        assert_eq!(check_queue_consistent(&g).unwrap_err().rule, "QUEUE-FIFO");
         assert!(check_queue_consistent_prefixes(&g).is_err());
     }
 

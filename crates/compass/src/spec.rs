@@ -30,7 +30,11 @@ impl Violation {
 
 impl fmt::Display for Violation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "[{}] {} (events {:?})", self.rule, self.message, self.events)
+        write!(
+            f,
+            "[{}] {} (events {:?})",
+            self.rule, self.message, self.events
+        )
     }
 }
 

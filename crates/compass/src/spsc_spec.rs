@@ -41,7 +41,10 @@ pub fn check_roles(g: &Graph<QueueEvent>) -> SpecResult {
             Some(t) => {
                 return Err(Violation::new(
                     "SPSC-ROLES",
-                    format!("event {id} by thread {} but the role belongs to {t}", ev.tid),
+                    format!(
+                        "event {id} by thread {} but the role belongs to {t}",
+                        ev.tid
+                    ),
                     vec![id],
                 ))
             }
@@ -94,7 +97,10 @@ pub fn check_program_order(g: &Graph<QueueEvent>) -> SpecResult {
             if !g.lhb(prev, id) {
                 return Err(Violation::new(
                     "SPSC-PO",
-                    format!("{prev} and {id} by thread {} lack a program-order lhb edge", ev.tid),
+                    format!(
+                        "{prev} and {id} by thread {} lack a program-order lhb edge",
+                        ev.tid
+                    ),
                     vec![prev, id],
                 ));
             }
@@ -127,9 +133,7 @@ pub fn derive_spsc(g: &Graph<QueueEvent>) -> SpecResult {
     check_roles(g)?;
     check_program_order(g)?;
     if let Err(v) = check_total_fifo(g) {
-        unreachable!(
-            "§3.2 derivation failed: premises hold but total FIFO does not: {v}\n{g}"
-        );
+        unreachable!("§3.2 derivation failed: premises hold but total FIFO does not: {v}\n{g}");
     }
     Ok(())
 }
@@ -201,9 +205,7 @@ mod tests {
         // before #0 (this also violates general FIFO — the point of the
         // test is the specific SPSC clause).
         let mut g = Graph::new();
-        let lv = |ids: &[u64]| -> BTreeSet<EventId> {
-            ids.iter().map(|&i| id(i)).collect()
-        };
+        let lv = |ids: &[u64]| -> BTreeSet<EventId> { ids.iter().map(|&i| id(i)).collect() };
         g.add_event(QueueEvent::Enq(Val::Int(0)), 1, 1, lv(&[0]));
         g.add_event(QueueEvent::Enq(Val::Int(1)), 1, 2, lv(&[0, 1]));
         g.add_event(QueueEvent::Deq(Val::Int(1)), 2, 3, lv(&[0, 1, 2]));
@@ -214,9 +216,7 @@ mod tests {
     #[test]
     fn missing_po_edge_detected() {
         let mut g = Graph::new();
-        let lv = |ids: &[u64]| -> BTreeSet<EventId> {
-            ids.iter().map(|&i| id(i)).collect()
-        };
+        let lv = |ids: &[u64]| -> BTreeSet<EventId> { ids.iter().map(|&i| id(i)).collect() };
         g.add_event(QueueEvent::Enq(Val::Int(0)), 1, 1, lv(&[0]));
         // Same thread, but the second event's logview omits the first.
         g.add_event(QueueEvent::Enq(Val::Int(1)), 1, 2, lv(&[1]));

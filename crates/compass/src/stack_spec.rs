@@ -110,11 +110,7 @@ pub fn check_lifo(g: &Graph<StackEvent>) -> SpecResult {
     for &(p1, o1) in g.so() {
         let o1_step = g.event(o1).step;
         for (p2, ev2) in g.iter() {
-            if p2 == p1
-                || ev2.ty.push_value().is_none()
-                || !g.lhb(p1, p2)
-                || !g.lhb(p2, o1)
-            {
+            if p2 == p1 || ev2.ty.push_value().is_none() || !g.lhb(p1, p2) || !g.lhb(p2, o1) {
                 continue;
             }
             match g.so_target(p2) {
@@ -164,9 +160,7 @@ pub fn check_emppop(g: &Graph<StackEvent>) -> SpecResult {
             if pe.ty.push_value().is_none() || !g.lhb(p, o) {
                 continue;
             }
-            let popped_before = g
-                .so_target(p)
-                .is_some_and(|o2| g.event(o2).step < ev.step);
+            let popped_before = g.so_target(p).is_some_and(|o2| g.event(o2).step < ev.step);
             if !popped_before {
                 return Err(Violation::new(
                     "STACK-EMPPOP",
@@ -292,11 +286,7 @@ mod tests {
     fn emppop_ok_after_pop() {
         let v = Val::Int(1);
         let g = graph(
-            &[
-                (Push(v), 1, &[]),
-                (Pop(v), 2, &[0]),
-                (EmpPop, 3, &[0, 1]),
-            ],
+            &[(Push(v), 1, &[]), (Pop(v), 2, &[0]), (EmpPop, 3, &[0, 1])],
             &[(0, 1)],
         );
         check_stack_consistent(&g).unwrap();

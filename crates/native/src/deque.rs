@@ -249,11 +249,8 @@ mod tests {
                     }
                 }
             }
-            loop {
-                match w.pop() {
-                    Some(v) => owner_got.push(v),
-                    None => break,
-                }
+            while let Some(v) = w.pop() {
+                owner_got.push(v);
             }
             done.store(true, Ordering::Release);
             let mut all = owner_got;

@@ -1,0 +1,417 @@
+//! A minimal, dependency-free stand-in for the slice of the
+//! `crossbeam-epoch` / `crossbeam-utils` API this crate uses.
+//!
+//! The lock-free structures here are *benchmark subjects and oracles*, not
+//! a reclamation library: what matters is that their atomics use the exact
+//! access modes the paper verifies and that values are never duplicated or
+//! dropped twice. Accordingly, [`Guard::defer_destroy`] **leaks** retired
+//! nodes instead of reclaiming them — the only behaviour that is sound
+//! without a real epoch protocol — while the `unprotected` owner-only
+//! paths (constructors and `Drop` impls) free eagerly as before. Workloads
+//! in this repository retire a few thousand small nodes per test, so the
+//! leak is bounded and irrelevant; swap in a real EBR crate if these types
+//! ever back a long-running service.
+
+use std::fmt;
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::sync::atomic::{AtomicPtr, Ordering};
+
+/// A pinned-epoch token. In this shim pinning is a no-op; the token only
+/// scopes the lifetimes of [`Shared`] pointers, exactly like the real API.
+#[derive(Debug)]
+pub struct Guard {
+    _priv: (),
+}
+
+impl Guard {
+    /// Retires `ptr`. This shim leaks it (see the module docs) — the
+    /// pointer stays valid forever, which trivially satisfies the safety
+    /// contract of concurrent readers.
+    ///
+    /// # Safety
+    ///
+    /// As in `crossbeam-epoch`: `ptr` must have been unlinked such that no
+    /// new reference to it can be created.
+    pub unsafe fn defer_destroy<T>(&self, ptr: Shared<'_, T>) {
+        let _ = ptr;
+    }
+}
+
+/// Pins the current thread (no-op shim) and returns a [`Guard`].
+pub fn pin() -> Guard {
+    Guard { _priv: () }
+}
+
+static UNPROTECTED: Guard = Guard { _priv: () };
+
+/// Returns a guard usable without pinning.
+///
+/// # Safety
+///
+/// Callers must have exclusive access to the data structure (e.g. inside
+/// `Drop` or a constructor), as with `crossbeam_epoch::unprotected`.
+pub unsafe fn unprotected() -> &'static Guard {
+    &UNPROTECTED
+}
+
+/// An owned, heap-allocated pointer (the shim's `Box` with a raw escape
+/// hatch).
+pub struct Owned<T> {
+    ptr: *mut T,
+}
+
+impl<T> Owned<T> {
+    /// Allocates `value` on the heap.
+    pub fn new(value: T) -> Self {
+        Owned {
+            ptr: Box::into_raw(Box::new(value)),
+        }
+    }
+
+    /// Converts into a [`Shared`] tied to `guard`'s lifetime, giving up
+    /// ownership.
+    pub fn into_shared<'g>(self, _guard: &'g Guard) -> Shared<'g, T> {
+        let ptr = self.ptr;
+        std::mem::forget(self);
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+impl<T> Deref for Owned<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        unsafe { &*self.ptr }
+    }
+}
+
+impl<T> DerefMut for Owned<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        unsafe { &mut *self.ptr }
+    }
+}
+
+impl<T> Drop for Owned<T> {
+    fn drop(&mut self) {
+        drop(unsafe { Box::from_raw(self.ptr) });
+    }
+}
+
+impl<T: fmt::Debug> fmt::Debug for Owned<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        (**self).fmt(f)
+    }
+}
+
+/// A shared pointer valid for the guard lifetime `'g`. May be null.
+pub struct Shared<'g, T> {
+    ptr: *mut T,
+    _marker: PhantomData<&'g T>,
+}
+
+impl<T> Clone for Shared<'_, T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for Shared<'_, T> {}
+
+impl<'g, T> Shared<'g, T> {
+    /// The null shared pointer.
+    pub fn null() -> Self {
+        Shared {
+            ptr: std::ptr::null_mut(),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Whether the pointer is null.
+    pub fn is_null(&self) -> bool {
+        self.ptr.is_null()
+    }
+
+    /// Dereferences.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null and the pointee valid.
+    pub unsafe fn deref(&self) -> &'g T {
+        &*self.ptr
+    }
+
+    /// `Some(&T)` unless null.
+    ///
+    /// # Safety
+    ///
+    /// The pointee, if any, must be valid.
+    pub unsafe fn as_ref(&self) -> Option<&'g T> {
+        self.ptr.as_ref()
+    }
+
+    /// Reclaims ownership.
+    ///
+    /// # Safety
+    ///
+    /// The pointer must be non-null, uniquely owned by the caller, and not
+    /// accessed afterwards.
+    pub unsafe fn into_owned(self) -> Owned<T> {
+        debug_assert!(!self.ptr.is_null());
+        Owned { ptr: self.ptr }
+    }
+}
+
+impl<T> fmt::Debug for Shared<'_, T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shared({:p})", self.ptr)
+    }
+}
+
+impl<T> PartialEq for Shared<'_, T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.ptr == other.ptr
+    }
+}
+impl<T> Eq for Shared<'_, T> {}
+
+/// Types convertible to/from a raw pointer — implemented by [`Owned`] and
+/// [`Shared`], the two pointer kinds accepted as the *new* value of
+/// [`Atomic::compare_exchange`].
+pub trait Pointer<T> {
+    /// Consumes self into a raw pointer.
+    fn into_ptr(self) -> *mut T;
+    /// Rebuilds from a raw pointer.
+    ///
+    /// # Safety
+    ///
+    /// `ptr` must have come from `into_ptr` of the same impl.
+    unsafe fn from_ptr(ptr: *mut T) -> Self;
+}
+
+impl<T> Pointer<T> for Owned<T> {
+    fn into_ptr(self) -> *mut T {
+        let p = self.ptr;
+        std::mem::forget(self);
+        p
+    }
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Owned { ptr }
+    }
+}
+
+impl<T> Pointer<T> for Shared<'_, T> {
+    fn into_ptr(self) -> *mut T {
+        self.ptr
+    }
+    unsafe fn from_ptr(ptr: *mut T) -> Self {
+        Shared {
+            ptr,
+            _marker: PhantomData,
+        }
+    }
+}
+
+/// The error of a failed [`Atomic::compare_exchange`]: the value actually
+/// observed plus the not-installed new pointer, handed back for reuse.
+pub struct CompareExchangeError<'g, T, P: Pointer<T>> {
+    /// The value the atomic actually held.
+    pub current: Shared<'g, T>,
+    /// The new value that was not installed, returned to the caller.
+    pub new: P,
+}
+
+impl<T, P: Pointer<T>> fmt::Debug for CompareExchangeError<'_, T, P> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CompareExchangeError")
+            .field("current", &self.current.ptr)
+            .finish_non_exhaustive()
+    }
+}
+
+/// An atomic nullable pointer to a heap node.
+pub struct Atomic<T> {
+    ptr: AtomicPtr<T>,
+}
+
+impl<T> Atomic<T> {
+    /// The null atomic pointer.
+    pub fn null() -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(std::ptr::null_mut()),
+        }
+    }
+
+    /// Loads a [`Shared`] scoped to `guard`.
+    pub fn load<'g>(&self, ord: Ordering, _guard: &'g Guard) -> Shared<'g, T> {
+        Shared {
+            ptr: self.ptr.load(ord),
+            _marker: PhantomData,
+        }
+    }
+
+    /// Stores a shared pointer.
+    pub fn store(&self, new: Shared<'_, T>, ord: Ordering) {
+        self.ptr.store(new.ptr, ord);
+    }
+
+    /// Compare-and-exchange: installs `new` if the current value is
+    /// `current`; on failure returns the observed value and `new` back.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CompareExchangeError`] when the observed value differs
+    /// from `current`.
+    pub fn compare_exchange<'g, P: Pointer<T>>(
+        &self,
+        current: Shared<'_, T>,
+        new: P,
+        success: Ordering,
+        failure: Ordering,
+        _guard: &'g Guard,
+    ) -> Result<Shared<'g, T>, CompareExchangeError<'g, T, P>> {
+        let new_ptr = new.into_ptr();
+        match self
+            .ptr
+            .compare_exchange(current.ptr, new_ptr, success, failure)
+        {
+            Ok(_) => Ok(Shared {
+                ptr: new_ptr,
+                _marker: PhantomData,
+            }),
+            Err(observed) => Err(CompareExchangeError {
+                current: Shared {
+                    ptr: observed,
+                    _marker: PhantomData,
+                },
+                new: unsafe { P::from_ptr(new_ptr) },
+            }),
+        }
+    }
+}
+
+impl<'g, T> From<Shared<'g, T>> for Atomic<T> {
+    fn from(s: Shared<'g, T>) -> Self {
+        Atomic {
+            ptr: AtomicPtr::new(s.ptr),
+        }
+    }
+}
+
+impl<T> fmt::Debug for Atomic<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Atomic({:p})", self.ptr.load(Ordering::Relaxed))
+    }
+}
+
+/// Exponential backoff helper (`crossbeam_utils::Backoff` subset).
+#[derive(Debug, Default)]
+pub struct Backoff {
+    step: std::cell::Cell<u32>,
+}
+
+impl Backoff {
+    const SPIN_LIMIT: u32 = 6;
+    const YIELD_LIMIT: u32 = 10;
+
+    /// Fresh backoff state.
+    pub fn new() -> Self {
+        Backoff::default()
+    }
+
+    /// Spins briefly, escalating to `yield_now` once the spin budget is
+    /// exhausted.
+    pub fn snooze(&self) {
+        let step = self.step.get();
+        if step <= Self::SPIN_LIMIT {
+            for _ in 0..1u32 << step {
+                std::hint::spin_loop();
+            }
+        } else {
+            std::thread::yield_now();
+        }
+        if step <= Self::YIELD_LIMIT {
+            self.step.set(step + 1);
+        }
+    }
+}
+
+/// Pads and aligns a value to 128 bytes to defeat false sharing
+/// (`crossbeam_utils::CachePadded` subset).
+#[derive(Debug, Default)]
+#[repr(align(128))]
+pub struct CachePadded<T> {
+    value: T,
+}
+
+impl<T> CachePadded<T> {
+    /// Wraps `value`.
+    pub fn new(value: T) -> Self {
+        CachePadded { value }
+    }
+}
+
+impl<T> Deref for CachePadded<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.value
+    }
+}
+
+impl<T> DerefMut for CachePadded<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.value
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
+
+    #[test]
+    fn cas_installs_and_reports_failure() {
+        let a: Atomic<u64> = Atomic::null();
+        let guard = &pin();
+        let one = Owned::new(1u64);
+        let installed = a
+            .compare_exchange(Shared::null(), one, Release, Relaxed, guard)
+            .unwrap();
+        assert_eq!(unsafe { *installed.deref() }, 1);
+        // Second install against null fails and hands the node back.
+        let err = a
+            .compare_exchange(Shared::null(), Owned::new(2u64), Release, Relaxed, guard)
+            .unwrap_err();
+        assert_eq!(unsafe { *err.current.deref() }, 1);
+        assert_eq!(*err.new, 2);
+        // Unlink and free.
+        let cur = a.load(Acquire, guard);
+        a.store(Shared::null(), Release);
+        drop(unsafe { cur.into_owned() });
+    }
+
+    #[test]
+    fn owned_roundtrip_and_shared_copy() {
+        let guard = unsafe { unprotected() };
+        let o = Owned::new(String::from("x"));
+        let s = o.into_shared(guard);
+        let s2 = s;
+        assert_eq!(unsafe { s2.deref() }, "x");
+        assert!(!s.is_null());
+        drop(unsafe { s.into_owned() });
+        assert!(Shared::<u8>::null().is_null());
+        assert!(unsafe { Shared::<u8>::null().as_ref() }.is_none());
+    }
+
+    #[test]
+    fn cache_padded_alignment_and_backoff() {
+        let p = CachePadded::new(5u8);
+        assert_eq!(*p, 5);
+        assert_eq!(std::mem::align_of::<CachePadded<u8>>(), 128);
+        let b = Backoff::new();
+        for _ in 0..20 {
+            b.snooze();
+        }
+    }
+}

@@ -21,7 +21,7 @@ use std::ptr;
 use std::sync::atomic::AtomicPtr;
 use std::sync::atomic::Ordering::{AcqRel, Acquire, Relaxed, Release};
 
-use crossbeam_epoch::{self as epoch, Atomic, Guard, Owned, Shared};
+use crate::ebr::{self as epoch, Atomic, Guard, Owned, Shared};
 
 fn cancelled<T>() -> *mut T {
     1usize as *mut T

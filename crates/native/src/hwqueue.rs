@@ -85,10 +85,7 @@ impl<T> HwQueue<T> {
             // Acquire CAS, relaxed store half ("dequeues use acquire
             // ones") — see the model twin for why a releasing TAKEN write
             // would be wrong.
-            if slot
-                .compare_exchange(p, taken(), Acquire, Relaxed)
-                .is_ok()
-            {
+            if slot.compare_exchange(p, taken(), Acquire, Relaxed).is_ok() {
                 return Some(unsafe { *Box::from_raw(p) });
             }
         }
@@ -109,9 +106,8 @@ impl<T> Drop for HwQueue<T> {
 
 impl<T: Send> ConcurrentQueue<T> for HwQueue<T> {
     fn enqueue(&self, v: T) {
-        self.try_push(v).unwrap_or_else(|_| {
-            panic!("HwQueue capacity {} exhausted", self.slots.len())
-        });
+        self.try_push(v)
+            .unwrap_or_else(|_| panic!("HwQueue capacity {} exhausted", self.slots.len()));
     }
 
     fn dequeue(&self) -> Option<T> {

@@ -24,6 +24,7 @@
 
 mod baseline;
 mod deque;
+pub mod ebr;
 mod exchanger;
 mod hwqueue;
 mod msqueue;
@@ -115,11 +116,7 @@ pub(crate) mod test_support {
                 .collect()
         });
         let expected = producers * per_thread;
-        assert_eq!(
-            popped.len() as u64,
-            expected,
-            "lost or duplicated elements"
-        );
+        assert_eq!(popped.len() as u64, expected, "lost or duplicated elements");
         let unique: BTreeSet<u64> = popped.iter().copied().collect();
         assert_eq!(unique.len() as u64, expected, "duplicated element");
     }

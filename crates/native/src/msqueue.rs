@@ -6,7 +6,7 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned, Shared};
+use crate::ebr::{self as epoch, Atomic, Owned, Shared};
 
 use crate::ConcurrentQueue;
 

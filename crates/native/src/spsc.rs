@@ -6,11 +6,11 @@
 use std::cell::UnsafeCell;
 use std::fmt;
 use std::mem::MaybeUninit;
-use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::atomic::AtomicUsize;
+use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 use std::sync::Arc;
 
-use crossbeam_utils::{Backoff, CachePadded};
+use crate::ebr::{Backoff, CachePadded};
 
 struct Inner<T> {
     head: CachePadded<AtomicUsize>,

@@ -12,7 +12,7 @@ use std::fmt;
 use std::mem::MaybeUninit;
 use std::sync::atomic::Ordering::{Acquire, Relaxed, Release};
 
-use crossbeam_epoch::{self as epoch, Atomic, Owned};
+use crate::ebr::{self as epoch, Atomic, Owned};
 
 use crate::exchanger::Exchanger;
 use crate::ConcurrentStack;
@@ -226,10 +226,7 @@ impl<T: Send> ElimStack<T> {
     /// Pops the top value: base stack first, elimination on contention.
     pub fn pop(&self) -> Option<T> {
         loop {
-            match self.base.try_pop() {
-                Ok(r) => return r,
-                Err(()) => {}
-            }
+            if let Ok(r) = self.base.try_pop() { return r }
             match self.slot().exchange(Offer::Pop, self.patience) {
                 Ok(Offer::Push(v)) => return Some(v),
                 Ok(Offer::Pop) | Err(_) => {}

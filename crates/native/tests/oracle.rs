@@ -1,16 +1,20 @@
 //! Property-based oracle tests: each native structure, driven
 //! sequentially by random operation sequences, behaves exactly like its
 //! std-collection oracle.
+//!
+//! Operation sequences come from a local splitmix64 generator — a pure
+//! function of the seed reported in every assertion — so the tests are
+//! deterministic and dependency-free.
 
 use std::collections::VecDeque;
 
-use proptest::prelude::*;
-
 use compass_native::{
-    chase_lev, spsc_ring, ElimStack, HwQueue, MsQueue, MutexQueue, MutexStack, Steal,
-    TreiberStack,
+    chase_lev, spsc_ring, ElimStack, HwQueue, MsQueue, MutexQueue, MutexStack, Steal, TreiberStack,
 };
 use compass_native::{ConcurrentQueue, ConcurrentStack};
+
+/// Seeds per property.
+const CASES: u64 = 200;
 
 #[derive(Copy, Clone, Debug)]
 enum Op {
@@ -18,21 +22,42 @@ enum Op {
     Remove,
 }
 
-fn ops() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![(0i64..100).prop_map(Op::Insert), Just(Op::Remove)],
-        0..60,
-    )
+struct Sm64(u64);
+
+impl Sm64 {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
 }
 
-proptest! {
-    #[test]
-    fn stacks_match_vec_oracle(ops in ops()) {
+/// Up to 60 operations; inserts of small values and removes equally
+/// likely.
+fn gen_ops(seed: u64) -> Vec<Op> {
+    let mut rng = Sm64(seed);
+    let len = (rng.next() % 60) as usize;
+    (0..len)
+        .map(|_| {
+            if rng.next().is_multiple_of(2) {
+                Op::Insert((rng.next() % 100) as i64)
+            } else {
+                Op::Remove
+            }
+        })
+        .collect()
+}
+
+#[test]
+fn stacks_match_vec_oracle() {
+    for seed in 0..CASES {
         let treiber = TreiberStack::new();
         let elim = ElimStack::new(2, 4);
         let mutex = MutexStack::new();
         let mut oracle: Vec<i64> = Vec::new();
-        for op in ops {
+        for op in gen_ops(seed) {
             match op {
                 Op::Insert(v) => {
                     ConcurrentStack::push(&treiber, v);
@@ -42,21 +67,23 @@ proptest! {
                 }
                 Op::Remove => {
                     let expect = oracle.pop();
-                    prop_assert_eq!(ConcurrentStack::pop(&treiber), expect);
-                    prop_assert_eq!(ConcurrentStack::pop(&elim), expect);
-                    prop_assert_eq!(ConcurrentStack::pop(&mutex), expect);
+                    assert_eq!(ConcurrentStack::pop(&treiber), expect, "seed {seed}");
+                    assert_eq!(ConcurrentStack::pop(&elim), expect, "seed {seed}");
+                    assert_eq!(ConcurrentStack::pop(&mutex), expect, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn queues_match_deque_oracle(ops in ops()) {
+#[test]
+fn queues_match_deque_oracle() {
+    for seed in 0..CASES {
         let ms = MsQueue::new();
         let hw = HwQueue::new(64);
         let mutex = MutexQueue::new();
         let mut oracle: VecDeque<i64> = VecDeque::new();
-        for op in ops {
+        for op in gen_ops(seed) {
             match op {
                 Op::Insert(v) => {
                     ConcurrentQueue::enqueue(&ms, v);
@@ -66,52 +93,56 @@ proptest! {
                 }
                 Op::Remove => {
                     let expect = oracle.pop_front();
-                    prop_assert_eq!(ConcurrentQueue::dequeue(&ms), expect);
-                    prop_assert_eq!(ConcurrentQueue::dequeue(&hw), expect);
-                    prop_assert_eq!(ConcurrentQueue::dequeue(&mutex), expect);
+                    assert_eq!(ConcurrentQueue::dequeue(&ms), expect, "seed {seed}");
+                    assert_eq!(ConcurrentQueue::dequeue(&hw), expect, "seed {seed}");
+                    assert_eq!(ConcurrentQueue::dequeue(&mutex), expect, "seed {seed}");
                 }
             }
         }
     }
+}
 
-    #[test]
-    fn deque_matches_owner_oracle(ops in ops()) {
+#[test]
+fn deque_matches_owner_oracle() {
+    for seed in 0..CASES {
         // Sequential owner use: the deque behaves as a LIFO for the owner.
         let (worker, stealer) = chase_lev::<i64>(128);
         let mut oracle: VecDeque<i64> = VecDeque::new();
-        for op in ops {
+        for op in gen_ops(seed) {
             match op {
                 Op::Insert(v) => {
                     worker.push(v);
                     oracle.push_back(v);
                 }
                 Op::Remove => {
-                    prop_assert_eq!(worker.pop(), oracle.pop_back());
+                    assert_eq!(worker.pop(), oracle.pop_back(), "seed {seed}");
                 }
             }
         }
         // Drain the rest from the top via the stealer: FIFO.
         while let Some(expect) = oracle.pop_front() {
             match stealer.steal() {
-                Steal::Stolen(v) => prop_assert_eq!(v, expect),
-                other => prop_assert!(false, "unexpected {:?}", other),
+                Steal::Stolen(v) => assert_eq!(v, expect, "seed {seed}"),
+                other => panic!("seed {seed}: unexpected {other:?}"),
             }
         }
-        prop_assert_eq!(stealer.steal(), Steal::Empty);
+        assert_eq!(stealer.steal(), Steal::Empty, "seed {seed}");
     }
+}
 
-    #[test]
-    fn spsc_ring_matches_oracle(ops in ops()) {
+#[test]
+fn spsc_ring_matches_oracle() {
+    for seed in 0..CASES {
         let (p, c) = spsc_ring::<i64>(128);
         let mut oracle: VecDeque<i64> = VecDeque::new();
-        for op in ops {
+        for op in gen_ops(seed) {
             match op {
                 Op::Insert(v) => {
                     p.try_push(v).unwrap();
                     oracle.push_back(v);
                 }
                 Op::Remove => {
-                    prop_assert_eq!(c.try_pop(), oracle.pop_front());
+                    assert_eq!(c.try_pop(), oracle.pop_front(), "seed {seed}");
                 }
             }
         }

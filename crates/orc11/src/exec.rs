@@ -22,14 +22,15 @@ use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::Arc;
 
-use parking_lot::{Condvar, Mutex};
+use crate::sync::{Condvar, Mutex};
 
 use crate::error::ModelError;
 use crate::frontier::Frontier;
-use crate::oplog::{OpKindRecord, OpRecord};
 use crate::memory::Memory;
 use crate::mode::{FenceMode, Mode};
+use crate::oplog::{OpKindRecord, OpRecord};
 use crate::sched::{Choice, ChoiceKind, Strategy};
+use crate::stats::ExecStats;
 use crate::tview::ThreadView;
 use crate::val::{Loc, ThreadId, Val};
 
@@ -83,6 +84,8 @@ struct ExecState {
     sc: Frontier,
     /// Recorded instructions (when `Config::record_ops`).
     ops: Option<Vec<OpRecord>>,
+    /// Always-on instruction counters (see [`crate::stats`]).
+    stats: ExecStats,
 }
 
 impl ExecState {
@@ -199,6 +202,8 @@ pub struct RunOutcome<R> {
     pub trace: Vec<Choice>,
     /// Instruction log (empty unless [`Config::record_ops`] is set).
     pub ops: Vec<OpRecord>,
+    /// Instruction counters for this execution (always recorded).
+    pub stats: ExecStats,
 }
 
 fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
@@ -335,6 +340,7 @@ impl ThreadCtx {
                 } = st;
                 memory.alloc(name, init, &mut threads[tid].tv, tid)
             };
+            st.stats.allocs += 1;
             st.record(tid, Some(loc), OpKindRecord::Alloc { count: 1 });
             Ok(loc)
         })
@@ -351,6 +357,7 @@ impl ThreadCtx {
                 } = st;
                 memory.alloc_block(name, inits, &mut threads[tid].tv, tid)
             };
+            st.stats.allocs += u64::from(n);
             st.record(tid, Some(loc), OpKindRecord::Alloc { count: n });
             Ok(loc)
         })
@@ -373,6 +380,7 @@ impl ThreadCtx {
                 } = st;
                 memory.alloc_block_atomic(name, inits, &mut threads[tid].tv, tid)
             };
+            st.stats.allocs += u64::from(n);
             st.record(tid, Some(loc), OpKindRecord::Alloc { count: n });
             Ok(loc)
         })
@@ -412,9 +420,8 @@ impl ThreadCtx {
                     }
                 })
                 .map_err(ModelError::Race)?;
-            let (val, ts) = got.expect(
-                "scheduled read_await must have a candidate; plain reads always have one",
-            );
+            let (val, ts) = got
+                .expect("scheduled read_await must have a candidate; plain reads always have one");
             let t = {
                 let mut gh = GhostHandle {
                     tv: &mut threads[tid].tv,
@@ -424,6 +431,8 @@ impl ThreadCtx {
                 k(val, &mut gh)
             };
             let awaited = pred.is_some();
+            st.stats.reads.bump(mode);
+            st.stats.awaited_reads += u64::from(awaited);
             st.record(
                 tid,
                 Some(loc),
@@ -528,6 +537,7 @@ impl ThreadCtx {
                     k(&mut gh)
                 })
                 .map_err(ModelError::Race)?;
+            st.stats.writes.bump(mode);
             st.record(tid, Some(loc), OpKindRecord::Write { mode, val, ts });
             Ok(t)
         })
@@ -542,6 +552,7 @@ impl ThreadCtx {
             } else {
                 st.threads[tid].tv.fence(mode);
             }
+            st.stats.fences.bump(mode);
             st.record(tid, None, OpKindRecord::Fence { mode });
             Ok(())
         })
@@ -618,6 +629,8 @@ impl ThreadCtx {
                 let new = ts.map(|_| memory.peek_latest(loc));
                 (old, ts, t, new)
             };
+            st.stats.rmws.bump(ok_mode);
+            st.stats.failed_cas += u64::from(new.is_none());
             st.record(
                 tid,
                 Some(loc),
@@ -658,7 +671,8 @@ impl ThreadCtx {
         ok_mode: Mode,
         fail_mode: Mode,
     ) -> Result<Val, Val> {
-        self.cas_with(loc, expect, new, ok_mode, fail_mode, |_, _| ()).0
+        self.cas_with(loc, expect, new, ok_mode, fail_mode, |_, _| ())
+            .0
     }
 
     /// [`ThreadCtx::cas`] with a commit continuation (see
@@ -806,18 +820,22 @@ where
             n_bodies: n,
             sc: Frontier::new(),
             ops: cfg.record_ops.then(Vec::new),
+            stats: ExecStats::default(),
         }),
         cv: Condvar::new(),
     });
 
-    let outcome = |shared: &Arc<ExecShared>, result| {
+    let outcome = |shared: &Arc<ExecShared>, result: Result<R, ModelError>| {
         let mut st = shared.state.lock();
         let ops = st.ops.take().unwrap_or_default();
+        st.stats.steps = st.steps;
+        st.stats.races = u64::from(matches!(&result, Err(ModelError::Race(_))));
         RunOutcome {
             result,
             steps: st.steps,
             trace: st.trace.clone(),
             ops,
+            stats: st.stats,
         }
     };
 
@@ -954,7 +972,13 @@ mod tests {
                         Box::new(|ctx: &mut ThreadCtx, &l: &Loc| loop {
                             let cur = ctx.read(l, Mode::Relaxed);
                             if ctx
-                                .cas(l, cur, Val::Int(cur.expect_int() + 1), Mode::Relaxed, Mode::Relaxed)
+                                .cas(
+                                    l,
+                                    cur,
+                                    Val::Int(cur.expect_int() + 1),
+                                    Mode::Relaxed,
+                                    Mode::Relaxed,
+                                )
                                 .is_ok()
                             {
                                 return;
@@ -995,9 +1019,8 @@ mod tests {
             random_strategy(3),
             |ctx| ctx.alloc("x", Val::Int(0)),
             vec![
-                Box::new(|ctx: &mut ThreadCtx, &l: &Loc| {
-                    ctx.write(l, Val::Int(1), Mode::NonAtomic)
-                }) as BodyFn<'_, _, _>,
+                Box::new(|ctx: &mut ThreadCtx, &l: &Loc| ctx.write(l, Val::Int(1), Mode::NonAtomic))
+                    as BodyFn<'_, _, _>,
                 Box::new(|ctx: &mut ThreadCtx, &l: &Loc| {
                     ctx.write(l, Val::Int(2), Mode::NonAtomic)
                 }),

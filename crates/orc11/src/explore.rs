@@ -10,7 +10,8 @@ use std::fmt;
 
 use crate::error::ModelError;
 use crate::exec::RunOutcome;
-use crate::sched::{dfs_strategy, random_strategy, Strategy};
+use crate::sched::{dfs_strategy, next_dfs_prefix, random_strategy, Strategy};
+use crate::stats::{Coverage, ExecStats, StepHistogram};
 
 /// Aggregated result of an exploration.
 #[derive(Debug, Default)]
@@ -29,12 +30,22 @@ pub struct ExploreReport {
     pub exhausted: bool,
     /// Total model steps across all executions.
     pub total_steps: u64,
+    /// Instruction counters summed over all executions.
+    pub stats: ExecStats,
+    /// Steps-per-execution distribution (log2 buckets).
+    pub steps_hist: StepHistogram,
+    /// Schedule coverage: distinct choice traces and (for DFS) decision
+    /// tree nodes visited.
+    pub coverage: Coverage,
 }
 
 impl ExploreReport {
     fn record<R>(&mut self, id: u64, out: &RunOutcome<R>) {
         self.execs += 1;
         self.total_steps += out.steps;
+        self.stats.merge(&out.stats);
+        self.steps_hist.record(out.steps);
+        self.coverage.record_trace(&out.trace);
         match &out.result {
             Ok(_) => self.ok += 1,
             Err(e) => {
@@ -44,6 +55,25 @@ impl ExploreReport {
                 }
             }
         }
+    }
+
+    /// Machine-readable form (see `EXPERIMENTS.md`, "Observability &
+    /// replay", for the schema).
+    pub fn to_json(&self) -> crate::Json {
+        crate::Json::obj()
+            .set("execs", self.execs)
+            .set("ok", self.ok)
+            .set("error_count", self.error_count)
+            .set("exhausted", self.exhausted)
+            .set("total_steps", self.total_steps)
+            .set("stats", self.stats.to_json())
+            .set("steps_hist", self.steps_hist.to_json())
+            .set(
+                "coverage",
+                crate::Json::obj()
+                    .set("distinct_traces", self.coverage.distinct_traces())
+                    .set("dfs_nodes", self.coverage.dfs_nodes),
+            )
     }
 
     /// Panics with a readable message if any execution errored.
@@ -66,8 +96,9 @@ impl fmt::Display for ExploreReport {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "{} executions, {} ok, {} errors{}, {} total steps",
+            "{} executions ({} distinct traces), {} ok, {} errors{}, {} total steps",
             self.execs,
+            self.coverage.distinct_traces(),
             self.ok,
             self.error_count,
             if self.exhausted { " (exhaustive)" } else { "" },
@@ -165,25 +196,19 @@ impl Explorer {
             }
             let out = run(dfs_strategy(prefix.clone()));
             report.record(n, &out);
+            // Decision-tree accounting: this execution shares the first
+            // `prefix.len() - 1` decisions with an earlier one (the last
+            // forced choice was freshly bumped), so everything from there
+            // on is new.
+            let shared = prefix.len().saturating_sub(1);
+            report.coverage.dfs_nodes += (out.trace.len() - shared.min(out.trace.len())) as u64;
             on(n, &out);
             n += 1;
-            // Backtrack: bump the deepest choice with an unexplored
-            // alternative; drop everything after it.
-            let mut trace: Vec<(u32, u32)> =
-                out.trace.iter().map(|c| (c.chosen, c.arity)).collect();
-            loop {
-                match trace.pop() {
-                    None => {
-                        report.exhausted = true;
-                        return report;
-                    }
-                    Some((chosen, arity)) => {
-                        if chosen + 1 < arity {
-                            trace.push((chosen + 1, arity));
-                            prefix = trace.iter().map(|&(c, _)| c).collect();
-                            break;
-                        }
-                    }
+            match next_dfs_prefix(&out.trace) {
+                Some(p) => prefix = p,
+                None => {
+                    report.exhausted = true;
+                    return report;
                 }
             }
         }
@@ -204,12 +229,7 @@ mod tests {
         run_model(
             &Config::default(),
             strategy,
-            |ctx| {
-                (
-                    ctx.alloc("x", Val::Int(0)),
-                    ctx.alloc("y", Val::Int(0)),
-                )
-            },
+            |ctx| (ctx.alloc("x", Val::Int(0)), ctx.alloc("y", Val::Int(0))),
             vec![
                 Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
                     ctx.write(x, Val::Int(1), Mode::Relaxed);
@@ -227,20 +247,13 @@ mod tests {
     #[test]
     fn dfs_finds_all_sb_outcomes() {
         let mut outcomes = BTreeSet::new();
-        let report = Explorer.dfs(
-            10_000,
-            sb,
-            |_, out| {
-                outcomes.insert(*out.result.as_ref().unwrap());
-            },
-        );
+        let report = Explorer.dfs(10_000, sb, |_, out| {
+            outcomes.insert(*out.result.as_ref().unwrap());
+        });
         assert!(report.exhausted, "SB should be fully explorable");
         report.assert_all_ok();
         // All four combinations, including the weak (0,0).
-        assert_eq!(
-            outcomes,
-            BTreeSet::from([(0, 0), (0, 1), (1, 0), (1, 1)])
-        );
+        assert_eq!(outcomes, BTreeSet::from([(0, 0), (0, 1), (1, 0), (1, 1)]));
     }
 
     #[test]
@@ -265,7 +278,10 @@ mod tests {
             }
         });
         report.assert_all_ok();
-        assert!(weak > 0, "weak SB outcome should appear under random search");
+        assert!(
+            weak > 0,
+            "weak SB outcome should appear under random search"
+        );
     }
 
     #[test]
@@ -276,12 +292,7 @@ mod tests {
             run_model(
                 &Config::default(),
                 strategy,
-                |ctx| {
-                    (
-                        ctx.alloc("x", Val::Int(0)),
-                        ctx.alloc("gate", Val::Int(0)),
-                    )
-                },
+                |ctx| (ctx.alloc("x", Val::Int(0)), ctx.alloc("gate", Val::Int(0))),
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
                         ctx.write(x, Val::Int(1), Mode::NonAtomic);

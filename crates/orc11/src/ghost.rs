@@ -61,13 +61,9 @@ impl GhostView {
 
     /// Pointwise inclusion: `self ⊑ other`.
     pub fn leq(&self, other: &GhostView) -> bool {
-        self.map.iter().all(|(&k, s)| {
-            other
-                .map
-                .get(&k)
-                .is_some_and(|o| s.is_subset(o))
-                || s.is_empty()
-        })
+        self.map
+            .iter()
+            .all(|(&k, s)| other.map.get(&k).is_some_and(|o| s.is_subset(o)) || s.is_empty())
     }
 
     /// Whether no key has any events.

@@ -1,0 +1,288 @@
+//! A hand-rolled JSON value type and emitter.
+//!
+//! The workspace builds offline with no external crates, so the
+//! machine-readable metrics files (see `EXPERIMENTS.md`, "Observability &
+//! replay") are emitted through this minimal module instead of serde.
+//! Emission only — the repository writes metrics, it does not parse
+//! them (replay bundles use a simpler line format for the parts that are
+//! read back).
+//!
+//! Objects preserve insertion order, which keeps emitted schemas stable
+//! and diffable across runs.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer (covers u64 counters below 2^63, which every
+    /// counter in this repository is in practice).
+    Int(i64),
+    /// A float; non-finite values emit as `null` per RFC 8259.
+    Float(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object.
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// An empty array.
+    pub fn arr() -> Json {
+        Json::Arr(Vec::new())
+    }
+
+    /// Inserts `key: value` (objects only) and returns `self` for
+    /// chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an object.
+    pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Obj(entries) => entries.push((key.to_string(), value.into())),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Appends `value` (arrays only) and returns `self` for chaining.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `self` is not an array.
+    pub fn push(mut self, value: impl Into<Json>) -> Json {
+        match &mut self {
+            Json::Arr(items) => items.push(value.into()),
+            other => panic!("Json::push on non-array {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up a key (objects only; `None` otherwise or if absent).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Compact single-line rendering.
+    pub fn render(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, None, 0);
+        s
+    }
+
+    /// Pretty rendering with two-space indentation and a trailing
+    /// newline — the format of every file under `experiment-results/`.
+    pub fn render_pretty(&self) -> String {
+        let mut s = String::new();
+        self.write(&mut s, Some(2), 0);
+        s.push('\n');
+        s
+    }
+
+    fn write(&self, out: &mut String, indent: Option<usize>, depth: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Int(i) => {
+                let _ = fmt::Write::write_fmt(out, format_args!("{i}"));
+            }
+            Json::Float(x) => {
+                if x.is_finite() {
+                    // Guarantee a float-shaped token (serde_json does the
+                    // same) so consumers keep a stable type per field.
+                    if x.fract() == 0.0 && x.abs() < 1e15 {
+                        let _ = fmt::Write::write_fmt(out, format_args!("{x:.1}"));
+                    } else {
+                        let _ = fmt::Write::write_fmt(out, format_args!("{x}"));
+                    }
+                } else {
+                    out.push_str("null");
+                }
+            }
+            Json::Str(s) => write_escaped(out, s),
+            Json::Arr(items) => write_seq(out, indent, depth, '[', ']', items.len(), |out, i| {
+                items[i].write(out, indent, depth + 1)
+            }),
+            Json::Obj(entries) => {
+                write_seq(out, indent, depth, '{', '}', entries.len(), |out, i| {
+                    let (k, v) = &entries[i];
+                    write_escaped(out, k);
+                    out.push(':');
+                    if indent.is_some() {
+                        out.push(' ');
+                    }
+                    v.write(out, indent, depth + 1)
+                })
+            }
+        }
+    }
+}
+
+fn write_seq(
+    out: &mut String,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut item: impl FnMut(&mut String, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat_n(' ', w * (depth + 1)));
+        }
+        item(out, i);
+    }
+    if let Some(w) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', w * depth));
+    }
+    out.push(close);
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = fmt::Write::write_fmt(out, format_args!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+impl From<bool> for Json {
+    fn from(b: bool) -> Json {
+        Json::Bool(b)
+    }
+}
+impl From<i64> for Json {
+    fn from(i: i64) -> Json {
+        Json::Int(i)
+    }
+}
+impl From<u64> for Json {
+    fn from(u: u64) -> Json {
+        Json::Int(u as i64)
+    }
+}
+impl From<u32> for Json {
+    fn from(u: u32) -> Json {
+        Json::Int(u as i64)
+    }
+}
+impl From<usize> for Json {
+    fn from(u: usize) -> Json {
+        Json::Int(u as i64)
+    }
+}
+impl From<f64> for Json {
+    fn from(x: f64) -> Json {
+        Json::Float(x)
+    }
+}
+impl From<&str> for Json {
+    fn from(s: &str) -> Json {
+        Json::Str(s.to_string())
+    }
+}
+impl From<String> for Json {
+    fn from(s: String) -> Json {
+        Json::Str(s)
+    }
+}
+impl<T: Into<Json>> From<Vec<T>> for Json {
+    fn from(v: Vec<T>) -> Json {
+        Json::Arr(v.into_iter().map(Into::into).collect())
+    }
+}
+impl<T: Into<Json>> From<Option<T>> for Json {
+    fn from(v: Option<T>) -> Json {
+        v.map_or(Json::Null, Into::into)
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_rendering() {
+        let j = Json::obj()
+            .set("a", 1u64)
+            .set("b", vec![1i64, 2, 3])
+            .set("c", Json::Null)
+            .set("d", true)
+            .set("e", "hi");
+        assert_eq!(
+            j.render(),
+            r#"{"a":1,"b":[1,2,3],"c":null,"d":true,"e":"hi"}"#
+        );
+    }
+
+    #[test]
+    fn string_escaping() {
+        let j = Json::Str("a\"b\\c\nd\te\u{1}".to_string());
+        assert_eq!(j.render(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn floats_stay_float_shaped_and_nonfinite_is_null() {
+        assert_eq!(Json::Float(2.0).render(), "2.0");
+        assert_eq!(Json::Float(2.5).render(), "2.5");
+        assert_eq!(Json::Float(f64::NAN).render(), "null");
+        assert_eq!(Json::Float(f64::INFINITY).render(), "null");
+    }
+
+    #[test]
+    fn pretty_rendering_indents_and_ends_with_newline() {
+        let j = Json::obj().set("x", Json::arr().push(1u64).push(2u64));
+        assert_eq!(j.render_pretty(), "{\n  \"x\": [\n    1,\n    2\n  ]\n}\n");
+        assert_eq!(Json::obj().render_pretty(), "{}\n");
+    }
+
+    #[test]
+    fn object_order_is_insertion_order_and_get_works() {
+        let j = Json::obj().set("z", 1u64).set("a", 2u64);
+        assert!(j.render().starts_with(r#"{"z":1"#));
+        assert_eq!(j.get("a"), Some(&Json::Int(2)));
+        assert_eq!(j.get("missing"), None);
+    }
+}

@@ -75,12 +75,16 @@ mod exec;
 mod explore;
 mod frontier;
 mod ghost;
+pub mod json;
 pub mod litmus;
 mod memory;
 mod mode;
 mod msg;
 pub mod oplog;
+pub mod rng;
 mod sched;
+pub mod stats;
+pub mod sync;
 mod tview;
 mod val;
 mod view;
@@ -91,14 +95,16 @@ pub use exec::{run_model, BodyFn, Config, GhostHandle, OpResult, RunOutcome, Thr
 pub use explore::{ExploreReport, Explorer};
 pub use frontier::Frontier;
 pub use ghost::GhostView;
+pub use json::Json;
 pub use memory::Memory;
 pub use mode::{FenceMode, Mode};
 pub use msg::Msg;
 pub use oplog::{render_ops, OpKindRecord, OpRecord};
 pub use sched::{
-    dfs_strategy, pct_strategy, random_strategy, replay_strategy, Choice, ChoiceKind,
-    DfsStrategy, PctStrategy, RandomStrategy, Strategy,
+    dfs_strategy, next_dfs_prefix, pct_strategy, random_strategy, replay_strategy, Choice,
+    ChoiceKind, DfsStrategy, PctStrategy, RandomStrategy, Strategy,
 };
+pub use stats::{Coverage, ExecStats, StepHistogram};
 pub use tview::ThreadView;
 pub use val::{Loc, ThreadId, Val};
 pub use view::{Timestamp, View};

@@ -113,12 +113,18 @@ impl<S: Sync + 'static> Litmus<S> {
             })
             .collect();
         let finals = self.finals.clone();
-        run_model(&self.cfg, strategy, |ctx| setup(ctx), bodies, move |ctx, s, mut outs| {
-            if let Some(f) = &finals {
-                outs.extend(f(ctx, s));
-            }
-            outs
-        })
+        run_model(
+            &self.cfg,
+            strategy,
+            |ctx| setup(ctx),
+            bodies,
+            move |ctx, s, mut outs| {
+                if let Some(f) = &finals {
+                    outs.extend(f(ctx, s));
+                }
+                outs
+            },
+        )
     }
 
     /// Exhaustive exploration up to `max_execs` executions.
@@ -396,9 +402,7 @@ pub mod gallery {
                 ctx.write(x, Val::Int(2), Mode::Relaxed);
                 0
             })
-            .observe_finals(|ctx, &(x, y)| {
-                vec![ctx.peek(x).expect_int(), ctx.peek(y).expect_int()]
-            })
+            .observe_finals(|ctx, &(x, y)| vec![ctx.peek(x).expect_int(), ctx.peek(y).expect_int()])
     }
 
     /// Coherence write-read: a thread reading a location it just wrote
@@ -506,10 +510,12 @@ mod tests {
         // forbidden: having seen the mo-later write, you cannot go back.
         let seen12 = r.observed(&[0, 0, 12]);
         let seen21 = r.observed(&[0, 0, 21]);
-        assert!(seen12 ^ seen21 || (seen12 || seen21),
-            "at least one order observable");
+        assert!(
+            seen12 ^ seen21 || (seen12 || seen21),
+            "at least one order observable"
+        );
         // A read can never observe a value and then an mo-earlier one.
-        for (outcome, _) in &r.histogram {
+        for outcome in r.histogram.keys() {
             let o = outcome[2];
             let (a, b) = (o / 10, o % 10);
             if a != 0 && b != 0 {
@@ -528,7 +534,11 @@ mod tests {
     fn iriw_acq_allows_disagreement() {
         // Keep DFS budget higher: 4 threads.
         let r = iriw_acq().dfs(500_000);
-        assert!(r.report.exhausted, "IRIW should be explorable: {}", r.report);
+        assert!(
+            r.report.exhausted,
+            "IRIW should be explorable: {}",
+            r.report
+        );
         r.assert_observable(&[0, 0, 10, 10]);
     }
 
@@ -547,11 +557,8 @@ mod tests {
         let r = two_plus_two_w().dfs(500_000);
         assert!(r.report.exhausted, "{}", r.report);
         // Allowed finals observed...
-        let finals: std::collections::BTreeSet<(i64, i64)> = r
-            .histogram
-            .keys()
-            .map(|o| (o[2], o[3]))
-            .collect();
+        let finals: std::collections::BTreeSet<(i64, i64)> =
+            r.histogram.keys().map(|o| (o[2], o[3])).collect();
         assert!(finals.contains(&(1, 2)));
         assert!(finals.contains(&(2, 1)));
         assert!(finals.contains(&(2, 2)));
@@ -581,7 +588,7 @@ mod tests {
     fn rmw_is_atomic() {
         let r = rmw_atomicity().dfs(50_000);
         assert!(r.report.exhausted);
-        for (outcome, _) in &r.histogram {
+        for outcome in r.histogram.keys() {
             // Final reads: at least one thread reads 2 eventually is not
             // guaranteed (it reads its own update, possibly before the
             // other's), but the two RMWs never produce the same value:

@@ -71,7 +71,10 @@ impl Memory {
     /// tests); it bypasses the race detector.
     pub fn peek_latest(&self, loc: Loc) -> Val {
         let st = &self.locs[loc.index()];
-        st.history.last().expect("location has an initial write").val
+        st.history
+            .last()
+            .expect("location has an initial write")
+            .val
     }
 
     /// Number of writes (messages) in `loc`'s history, including the
@@ -92,6 +95,7 @@ impl Memory {
         c
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn race(
         st: &LocState,
         loc: Loc,
@@ -410,6 +414,7 @@ impl Memory {
     /// to write, or `None` to fail (a failed CAS). The continuation `k`
     /// observes the decision and runs after the read half's view transfer
     /// but before the write half publishes — the commit-point window.
+    #[allow(clippy::too_many_arguments)]
     pub(crate) fn rmw<R>(
         &mut self,
         tid: ThreadId,
@@ -448,9 +453,13 @@ impl Memory {
         } else {
             tv.acquire_relaxed(&read_frontier);
         }
-        self.state(loc)
-            .read_epochs
-            .insert(tid, Epoch { clock: c, atomic: true });
+        self.state(loc).read_epochs.insert(
+            tid,
+            Epoch {
+                clock: c,
+                atomic: true,
+            },
+        );
         match new {
             None => {
                 let r = k(&RmwPre { old, new: None }, tv);
@@ -467,17 +476,16 @@ impl Memory {
                     },
                     tv,
                 );
-                let frontier = Self::published_frontier(
-                    tv,
-                    tid,
-                    loc,
-                    ts,
-                    c,
-                    ok_mode,
-                    Some(&read_frontier),
-                );
+                let frontier =
+                    Self::published_frontier(tv, tid, loc, ts, c, ok_mode, Some(&read_frontier));
                 let st = self.state(loc);
-                st.write_epochs.insert(tid, Epoch { clock: c, atomic: true });
+                st.write_epochs.insert(
+                    tid,
+                    Epoch {
+                        clock: c,
+                        atomic: true,
+                    },
+                );
                 st.history.push(Msg {
                     val: new_val,
                     frontier,
@@ -629,7 +637,9 @@ mod tests {
             .unwrap();
         assert_eq!(v, Val::Int(1));
         // ...so the non-atomic read of data is a race.
-        assert!(mem.read(2, &mut tv2, data, Mode::NonAtomic, None, |_| 0).is_err());
+        assert!(mem
+            .read(2, &mut tv2, data, Mode::NonAtomic, None, |_| 0)
+            .is_err());
     }
 
     #[test]
@@ -695,7 +705,9 @@ mod tests {
         mem.read(2, &mut tv2, flag, Mode::Acquire, None, |n| n - 1)
             .unwrap()
             .unwrap();
-        assert!(mem.read(2, &mut tv2, data, Mode::NonAtomic, None, |_| 0).is_err());
+        assert!(mem
+            .read(2, &mut tv2, data, Mode::NonAtomic, None, |_| 0)
+            .is_err());
     }
 
     #[test]
@@ -727,7 +739,13 @@ mod tests {
                 0,
                 &mut tv,
                 l,
-                |v| if v == Val::Int(9) { Some(Val::Int(1)) } else { None },
+                |v| {
+                    if v == Val::Int(9) {
+                        Some(Val::Int(1))
+                    } else {
+                        None
+                    }
+                },
                 Mode::AcqRel,
                 Mode::Acquire,
                 |pre, _| pre.new,
@@ -758,7 +776,13 @@ mod tests {
             2,
             &mut tv2,
             x,
-            |v| if v == Val::Int(1) { Some(Val::Int(2)) } else { None },
+            |v| {
+                if v == Val::Int(1) {
+                    Some(Val::Int(2))
+                } else {
+                    None
+                }
+            },
             Mode::Relaxed,
             Mode::Relaxed,
             |_, _| (),
@@ -899,7 +923,8 @@ mod coherence_tests {
         )
         .unwrap();
         assert!(
-            mem.read(2, &mut r, data, Mode::NonAtomic, None, |_| 0).is_err(),
+            mem.read(2, &mut r, data, Mode::NonAtomic, None, |_| 0)
+                .is_err(),
             "relaxed RMW must not synchronize by itself"
         );
         // After the fence the pending acquisition lands.

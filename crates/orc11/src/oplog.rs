@@ -153,7 +153,9 @@ mod tests {
         })
         .to_string()
         .contains("fence(sc)"));
-        assert!(mk(OpKindRecord::Alloc { count: 2 }).to_string().contains("alloc"));
+        assert!(mk(OpKindRecord::Alloc { count: 2 })
+            .to_string()
+            .contains("alloc"));
     }
 
     #[test]

@@ -8,8 +8,7 @@
 
 use std::fmt;
 
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use crate::rng::SmallRng;
 
 /// What kind of decision a choice was.
 #[derive(Copy, Clone, PartialEq, Eq, Debug)]
@@ -56,21 +55,21 @@ pub trait Strategy: Send {
 /// Uniform pseudo-random strategy with a fixed seed.
 #[derive(Debug)]
 pub struct RandomStrategy {
-    rng: StdRng,
+    rng: SmallRng,
 }
 
 impl RandomStrategy {
     /// Creates a random strategy from a seed.
     pub fn new(seed: u64) -> Self {
         RandomStrategy {
-            rng: StdRng::seed_from_u64(seed),
+            rng: SmallRng::seed_from_u64(seed),
         }
     }
 }
 
 impl Strategy for RandomStrategy {
     fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
-        self.rng.random_range(0..arity)
+        self.rng.gen_index(arity)
     }
 }
 
@@ -138,7 +137,7 @@ pub fn dfs_strategy(forced: Vec<u32>) -> Box<dyn Strategy> {
 /// constraints) with much higher probability than uniform scheduling.
 #[derive(Debug)]
 pub struct PctStrategy {
-    rng: StdRng,
+    rng: SmallRng,
     priorities: std::collections::HashMap<crate::val::ThreadId, u64>,
     change_points: Vec<u64>,
     decisions: u64,
@@ -149,9 +148,9 @@ impl PctStrategy {
     /// Creates a PCT strategy with `depth` priority-change points spread
     /// over the first `horizon` scheduling decisions.
     pub fn new(seed: u64, depth: usize, horizon: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SmallRng::seed_from_u64(seed);
         let change_points = (0..depth)
-            .map(|_| rng.random_range(0..horizon.max(1)))
+            .map(|_| rng.gen_range(0, horizon.max(1)))
             .collect();
         PctStrategy {
             rng,
@@ -165,14 +164,14 @@ impl PctStrategy {
 
 impl Strategy for PctStrategy {
     fn choose(&mut self, _kind: ChoiceKind, arity: usize) -> usize {
-        self.rng.random_range(0..arity)
+        self.rng.gen_index(arity)
     }
 
     fn choose_thread(&mut self, candidates: &[crate::val::ThreadId]) -> usize {
         self.decisions += 1;
         let decisions = self.decisions;
         for &t in candidates {
-            let p = self.rng.random_range(1_000_000..u64::MAX);
+            let p = self.rng.gen_range(1_000_000, u64::MAX);
             self.priorities.entry(t).or_insert(p);
         }
         let (idx, &winner) = candidates
@@ -192,6 +191,28 @@ impl Strategy for PctStrategy {
 /// Boxed [`PctStrategy`] convenience constructor.
 pub fn pct_strategy(seed: u64, depth: usize, horizon: u64) -> Box<dyn Strategy> {
     Box::new(PctStrategy::new(seed, depth, horizon))
+}
+
+/// Advances a bounded-exhaustive DFS over choice traces by one step.
+///
+/// Given the trace of the execution just run (under a [`DfsStrategy`]
+/// whose forced prefix was a prefix of it), returns the forced prefix of
+/// the next unexplored path, or `None` when the decision tree is
+/// exhausted: the deepest choice with an unexplored alternative is
+/// bumped and everything after it dropped.
+///
+/// This is *the* backtracking step of every DFS exploration driver in
+/// the workspace ([`crate::Explorer::dfs`] and the `compass` checker's
+/// DFS mode both call it), so the two cannot drift apart.
+pub fn next_dfs_prefix(trace: &[Choice]) -> Option<Vec<u32>> {
+    let mut path: Vec<(u32, u32)> = trace.iter().map(|c| (c.chosen, c.arity)).collect();
+    loop {
+        let (chosen, arity) = path.pop()?;
+        if chosen + 1 < arity {
+            path.push((chosen + 1, arity));
+            return Some(path.iter().map(|&(c, _)| c).collect());
+        }
+    }
 }
 
 /// Replays a previously recorded trace exactly.
@@ -242,6 +263,44 @@ mod tests {
     fn dfs_rejects_out_of_range_prefix() {
         let mut s = DfsStrategy::new(vec![5]);
         s.choose(ChoiceKind::Thread, 2);
+    }
+
+    #[test]
+    fn next_dfs_prefix_enumerates_the_tree() {
+        // A fixed 2x3 decision tree: enumerate all 6 paths in order.
+        let run = |prefix: Vec<u32>| -> Vec<Choice> {
+            let mut s = DfsStrategy::new(prefix);
+            let a = s.choose(ChoiceKind::Thread, 2) as u32;
+            let b = s.choose(ChoiceKind::Read, 3) as u32;
+            vec![
+                Choice {
+                    kind: ChoiceKind::Thread,
+                    chosen: a,
+                    arity: 2,
+                },
+                Choice {
+                    kind: ChoiceKind::Read,
+                    chosen: b,
+                    arity: 3,
+                },
+            ]
+        };
+        let mut prefix = Vec::new();
+        let mut paths = Vec::new();
+        loop {
+            let trace = run(prefix);
+            paths.push((trace[0].chosen, trace[1].chosen));
+            match next_dfs_prefix(&trace) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+        assert_eq!(paths, vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn next_dfs_prefix_empty_trace_is_exhausted() {
+        assert_eq!(next_dfs_prefix(&[]), None);
     }
 
     #[test]

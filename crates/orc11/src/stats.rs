@@ -1,0 +1,540 @@
+//! Execution telemetry: cheap per-execution counters and
+//! exploration-level coverage tracking.
+//!
+//! Every model execution maintains an [`ExecStats`] — plain integer
+//! counters bumped inside the instruction turnstile (no allocation, no
+//! branching beyond the bump) — returned in
+//! [`crate::RunOutcome::stats`]. Exploration drivers aggregate them,
+//! bucket steps-per-execution into a [`StepHistogram`], and track
+//! *schedule coverage* (distinct choice traces seen, DFS decision-tree
+//! nodes visited) in a [`Coverage`]; all of it surfaces in
+//! [`crate::ExploreReport`].
+//!
+//! The counters are always on: an execution costs thousands of mutex
+//! round-trips per instruction, so a handful of integer increments is
+//! far below measurement noise.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::json::Json;
+use crate::mode::{FenceMode, Mode};
+use crate::sched::Choice;
+
+/// Counters keyed by access [`Mode`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModeCounter {
+    /// Non-atomic accesses.
+    pub na: u64,
+    /// Relaxed accesses.
+    pub rlx: u64,
+    /// Release accesses.
+    pub rel: u64,
+    /// Acquire accesses.
+    pub acq: u64,
+    /// Acquire-release accesses (RMWs).
+    pub acq_rel: u64,
+}
+
+impl ModeCounter {
+    /// Increments the counter for `mode`.
+    pub fn bump(&mut self, mode: Mode) {
+        match mode {
+            Mode::NonAtomic => self.na += 1,
+            Mode::Relaxed => self.rlx += 1,
+            Mode::Release => self.rel += 1,
+            Mode::Acquire => self.acq += 1,
+            Mode::AcqRel => self.acq_rel += 1,
+        }
+    }
+
+    /// Sum over all modes.
+    pub fn total(&self) -> u64 {
+        self.na + self.rlx + self.rel + self.acq + self.acq_rel
+    }
+
+    /// `(mode-name, count)` pairs in a fixed order (for rendering and
+    /// JSON emission).
+    pub fn entries(&self) -> [(&'static str, u64); 5] {
+        [
+            ("na", self.na),
+            ("rlx", self.rlx),
+            ("rel", self.rel),
+            ("acq", self.acq),
+            ("acq_rel", self.acq_rel),
+        ]
+    }
+
+    /// Machine-readable form: one key per mode.
+    pub fn to_json(&self) -> Json {
+        self.entries()
+            .iter()
+            .fold(Json::obj(), |j, &(k, v)| j.set(k, v))
+    }
+
+    fn merge(&mut self, other: &ModeCounter) {
+        self.na += other.na;
+        self.rlx += other.rlx;
+        self.rel += other.rel;
+        self.acq += other.acq;
+        self.acq_rel += other.acq_rel;
+    }
+}
+
+/// Counters keyed by [`FenceMode`].
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct FenceCounter {
+    /// Acquire fences.
+    pub acq: u64,
+    /// Release fences.
+    pub rel: u64,
+    /// Acquire-release fences.
+    pub acq_rel: u64,
+    /// Sequentially consistent fences.
+    pub sc: u64,
+}
+
+impl FenceCounter {
+    /// Increments the counter for `mode`.
+    pub fn bump(&mut self, mode: FenceMode) {
+        match mode {
+            FenceMode::Acquire => self.acq += 1,
+            FenceMode::Release => self.rel += 1,
+            FenceMode::AcqRel => self.acq_rel += 1,
+            FenceMode::SeqCst => self.sc += 1,
+        }
+    }
+
+    /// Sum over all fence modes.
+    pub fn total(&self) -> u64 {
+        self.acq + self.rel + self.acq_rel + self.sc
+    }
+
+    /// `(mode-name, count)` pairs in a fixed order.
+    pub fn entries(&self) -> [(&'static str, u64); 4] {
+        [
+            ("acq", self.acq),
+            ("rel", self.rel),
+            ("acq_rel", self.acq_rel),
+            ("sc", self.sc),
+        ]
+    }
+
+    /// Machine-readable form: one key per fence mode.
+    pub fn to_json(&self) -> Json {
+        self.entries()
+            .iter()
+            .fold(Json::obj(), |j, &(k, v)| j.set(k, v))
+    }
+
+    fn merge(&mut self, other: &FenceCounter) {
+        self.acq += other.acq;
+        self.rel += other.rel;
+        self.acq_rel += other.acq_rel;
+        self.sc += other.sc;
+    }
+}
+
+/// Per-execution instruction counters.
+///
+/// In a single [`crate::RunOutcome`] this describes one execution; in an
+/// [`crate::ExploreReport`] it is the sum over all executions.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Reads, by mode (awaited reads included).
+    pub reads: ModeCounter,
+    /// Writes, by mode.
+    pub writes: ModeCounter,
+    /// Read-modify-writes, by success mode (failed RMWs included).
+    pub rmws: ModeCounter,
+    /// RMWs whose compute declined to write (failed CAS).
+    pub failed_cas: u64,
+    /// Reads that went through a `read_await` block.
+    pub awaited_reads: u64,
+    /// Fences, by mode.
+    pub fences: FenceCounter,
+    /// Locations allocated.
+    pub allocs: u64,
+    /// Data races detected (0 or 1 per execution — a race aborts).
+    pub races: u64,
+    /// Model instructions executed.
+    pub steps: u64,
+}
+
+impl ExecStats {
+    /// Total memory accesses (reads + writes + RMWs, fences excluded).
+    pub fn accesses(&self) -> u64 {
+        self.reads.total() + self.writes.total() + self.rmws.total()
+    }
+
+    /// Machine-readable form (see `EXPERIMENTS.md`, "Observability &
+    /// replay", for the schema).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("reads", self.reads.to_json())
+            .set("writes", self.writes.to_json())
+            .set("rmws", self.rmws.to_json())
+            .set("failed_cas", self.failed_cas)
+            .set("awaited_reads", self.awaited_reads)
+            .set("fences", self.fences.to_json())
+            .set("allocs", self.allocs)
+            .set("races", self.races)
+            .set("steps", self.steps)
+    }
+
+    /// Adds `other` into `self` (aggregation across executions).
+    pub fn merge(&mut self, other: &ExecStats) {
+        self.reads.merge(&other.reads);
+        self.writes.merge(&other.writes);
+        self.rmws.merge(&other.rmws);
+        self.failed_cas += other.failed_cas;
+        self.awaited_reads += other.awaited_reads;
+        self.fences.merge(&other.fences);
+        self.allocs += other.allocs;
+        self.races += other.races;
+        self.steps += other.steps;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} reads ({} awaited), {} writes, {} rmws ({} failed cas), {} fences, {} allocs, {} races, {} steps",
+            self.reads.total(),
+            self.awaited_reads,
+            self.writes.total(),
+            self.rmws.total(),
+            self.failed_cas,
+            self.fences.total(),
+            self.allocs,
+            self.races,
+            self.steps,
+        )
+    }
+}
+
+/// A power-of-two-bucketed histogram of steps per execution.
+///
+/// Bucket `i` counts executions with `steps` in `[2^i, 2^(i+1))`
+/// (bucket 0 additionally holds zero-step executions).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StepHistogram {
+    buckets: [u64; 64],
+    count: u64,
+    total: u64,
+    max: u64,
+}
+
+impl Default for StepHistogram {
+    fn default() -> Self {
+        StepHistogram {
+            buckets: [0; 64],
+            count: 0,
+            total: 0,
+            max: 0,
+        }
+    }
+}
+
+impl StepHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        StepHistogram::default()
+    }
+
+    /// Bucket index for a step count.
+    fn index(steps: u64) -> usize {
+        if steps <= 1 {
+            0
+        } else {
+            63 - steps.leading_zeros() as usize
+        }
+    }
+
+    /// Records one execution's step count.
+    pub fn record(&mut self, steps: u64) {
+        self.buckets[Self::index(steps)] += 1;
+        self.count += 1;
+        self.total += steps;
+        self.max = self.max.max(steps);
+    }
+
+    /// Number of recorded executions.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean steps per execution (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// Maximum recorded step count.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Non-empty buckets as `(lo, hi_inclusive, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let lo = if i == 0 { 0 } else { 1u64 << i };
+                let hi = if i == 63 {
+                    u64::MAX
+                } else {
+                    (1u64 << (i + 1)) - 1
+                };
+                (lo, hi, c)
+            })
+            .collect()
+    }
+
+    /// Machine-readable form: summary plus the non-empty buckets.
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("count", self.count)
+            .set("mean", self.mean())
+            .set("max", self.max)
+            .set(
+                "buckets",
+                Json::Arr(
+                    self.nonzero_buckets()
+                        .into_iter()
+                        .map(|(lo, hi, c)| Json::obj().set("lo", lo).set("hi", hi).set("count", c))
+                        .collect(),
+                ),
+            )
+    }
+
+    /// Adds `other`'s recordings into `self`.
+    pub fn merge(&mut self, other: &StepHistogram) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total += other.total;
+        self.max = self.max.max(other.max);
+    }
+}
+
+impl fmt::Display for StepHistogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.count == 0 {
+            return write!(f, "steps/exec: (no executions)");
+        }
+        write!(f, "steps/exec: mean {:.1}, max {}:", self.mean(), self.max)?;
+        for (lo, hi, c) in self.nonzero_buckets() {
+            write!(f, " [{lo}-{hi}]:{c}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Schedule-coverage tracking: how much of the interleaving space an
+/// exploration actually visited.
+#[derive(Clone, Debug, Default)]
+pub struct Coverage {
+    seen: HashSet<u64>,
+    /// Decision-tree nodes visited (DFS exploration only; 0 otherwise).
+    pub dfs_nodes: u64,
+}
+
+impl Coverage {
+    /// Creates empty coverage.
+    pub fn new() -> Self {
+        Coverage::default()
+    }
+
+    /// Records an execution's choice trace; returns `true` if this exact
+    /// trace had not been seen before.
+    ///
+    /// Traces are tracked as 64-bit FNV-1a hashes — a collision
+    /// undercounts coverage by one but costs no memory per trace.
+    pub fn record_trace(&mut self, trace: &[Choice]) -> bool {
+        self.seen.insert(hash_trace(trace))
+    }
+
+    /// Number of distinct choice traces observed.
+    pub fn distinct_traces(&self) -> u64 {
+        self.seen.len() as u64
+    }
+
+    /// Merges `other` into `self`.
+    pub fn merge(&mut self, other: &Coverage) {
+        self.seen.extend(other.seen.iter().copied());
+        self.dfs_nodes += other.dfs_nodes;
+    }
+}
+
+/// FNV-1a over the (kind, chosen, arity) stream of a choice trace.
+fn hash_trace(trace: &[Choice]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut eat = |b: u64| {
+        h ^= b;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    };
+    for c in trace {
+        eat(match c.kind {
+            crate::sched::ChoiceKind::Thread => 1,
+            crate::sched::ChoiceKind::Read => 2,
+        });
+        eat(c.chosen as u64);
+        eat(c.arity as u64);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::ChoiceKind;
+
+    fn choice(kind: ChoiceKind, chosen: u32, arity: u32) -> Choice {
+        Choice {
+            kind,
+            chosen,
+            arity,
+        }
+    }
+
+    #[test]
+    fn mode_counter_counts_each_mode() {
+        let mut c = ModeCounter::default();
+        for m in [
+            Mode::NonAtomic,
+            Mode::Relaxed,
+            Mode::Relaxed,
+            Mode::Release,
+            Mode::Acquire,
+            Mode::AcqRel,
+        ] {
+            c.bump(m);
+        }
+        assert_eq!(c.na, 1);
+        assert_eq!(c.rlx, 2);
+        assert_eq!(c.rel, 1);
+        assert_eq!(c.acq, 1);
+        assert_eq!(c.acq_rel, 1);
+        assert_eq!(c.total(), 6);
+        assert_eq!(c.entries()[1], ("rlx", 2));
+    }
+
+    #[test]
+    fn fence_counter_counts_each_mode() {
+        let mut c = FenceCounter::default();
+        for m in [
+            FenceMode::Acquire,
+            FenceMode::Release,
+            FenceMode::AcqRel,
+            FenceMode::SeqCst,
+            FenceMode::SeqCst,
+        ] {
+            c.bump(m);
+        }
+        assert_eq!((c.acq, c.rel, c.acq_rel, c.sc), (1, 1, 1, 2));
+        assert_eq!(c.total(), 5);
+    }
+
+    #[test]
+    fn exec_stats_merge_adds_fields() {
+        let mut a = ExecStats::default();
+        a.reads.bump(Mode::Acquire);
+        a.failed_cas = 2;
+        a.steps = 10;
+        let mut b = ExecStats::default();
+        b.reads.bump(Mode::Acquire);
+        b.writes.bump(Mode::Release);
+        b.races = 1;
+        b.steps = 5;
+        a.merge(&b);
+        assert_eq!(a.reads.acq, 2);
+        assert_eq!(a.writes.rel, 1);
+        assert_eq!(a.failed_cas, 2);
+        assert_eq!(a.races, 1);
+        assert_eq!(a.steps, 15);
+        assert_eq!(a.accesses(), 3);
+    }
+
+    #[test]
+    fn histogram_buckets_are_powers_of_two() {
+        let mut h = StepHistogram::new();
+        for s in [0, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(s);
+        }
+        assert_eq!(h.count(), 8);
+        assert_eq!(h.max(), 1000);
+        let buckets = h.nonzero_buckets();
+        // 0,1 -> [0,1]; 2,3 -> [2,3]; 4,7 -> [4,7]; 8 -> [8,15]; 1000 -> [512,1023]
+        assert_eq!(
+            buckets,
+            vec![(0, 1, 2), (2, 3, 2), (4, 7, 2), (8, 15, 1), (512, 1023, 1)]
+        );
+        let mut h2 = StepHistogram::new();
+        h2.record(2);
+        h.merge(&h2);
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.nonzero_buckets()[1], (2, 3, 3));
+    }
+
+    #[test]
+    fn stats_json_has_the_documented_keys() {
+        let mut s = ExecStats::default();
+        s.reads.bump(Mode::Acquire);
+        s.steps = 3;
+        let j = s.to_json();
+        for key in [
+            "reads",
+            "writes",
+            "rmws",
+            "failed_cas",
+            "awaited_reads",
+            "fences",
+            "allocs",
+            "races",
+            "steps",
+        ] {
+            assert!(j.get(key).is_some(), "missing key {key}");
+        }
+        assert_eq!(
+            j.get("reads").and_then(|r| r.get("acq")),
+            Some(&Json::Int(1))
+        );
+        assert_eq!(j.get("steps"), Some(&Json::Int(3)));
+
+        let mut h = StepHistogram::new();
+        h.record(5);
+        let hj = h.to_json();
+        assert_eq!(hj.get("count"), Some(&Json::Int(1)));
+        assert_eq!(hj.get("max"), Some(&Json::Int(5)));
+        assert_eq!(hj.get("mean"), Some(&Json::Float(5.0)));
+        assert_eq!(
+            hj.get("buckets").map(|b| b.render()),
+            Some(r#"[{"lo":4,"hi":7,"count":1}]"#.to_string())
+        );
+    }
+
+    #[test]
+    fn coverage_counts_distinct_traces() {
+        let mut cov = Coverage::new();
+        let t1 = [choice(ChoiceKind::Thread, 0, 2)];
+        let t2 = [choice(ChoiceKind::Thread, 1, 2)];
+        let t3 = [choice(ChoiceKind::Read, 0, 2)];
+        assert!(cov.record_trace(&t1));
+        assert!(!cov.record_trace(&t1));
+        assert!(cov.record_trace(&t2));
+        assert!(cov.record_trace(&t3));
+        assert_eq!(cov.distinct_traces(), 3);
+        // Arity participates in the hash.
+        let t4 = [choice(ChoiceKind::Thread, 0, 3)];
+        assert!(cov.record_trace(&t4));
+        assert_eq!(cov.distinct_traces(), 4);
+    }
+}

@@ -2,8 +2,8 @@
 //! plumbing, trace replay across strategies, and op accounting.
 
 use orc11::{
-    pct_strategy, random_strategy, replay_strategy, run_model, BodyFn, Config, Loc, Mode,
-    Strategy, Val,
+    pct_strategy, random_strategy, replay_strategy, run_model, BodyFn, Config, Loc, Mode, Strategy,
+    Val,
 };
 
 /// A 3-thread program with enough nondeterminism to make traces
@@ -17,7 +17,7 @@ fn racy_program(strategy: Box<dyn Strategy>) -> orc11::RunOutcome<(i64, i64)> {
             Box::new(|ctx: &mut orc11::ThreadCtx, &x: &Loc| {
                 ctx.write(x, Val::Int(1), Mode::Relaxed);
                 ctx.write(x, Val::Int(2), Mode::Relaxed);
-                0
+                0i64
             }) as BodyFn<'_, _, i64>,
             Box::new(|ctx: &mut orc11::ThreadCtx, &x: &Loc| {
                 ctx.read(x, Mode::Relaxed).expect_int()

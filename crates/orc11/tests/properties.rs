@@ -1,54 +1,61 @@
 //! Property-based tests for the substrate's algebraic structures and
 //! strategies.
+//!
+//! Exercised over deterministic seeded random inputs (no external
+//! property-testing dependency); generators are pure functions of the
+//! seed, which every assertion message carries.
 
-use proptest::prelude::*;
-
+use orc11::rng::SmallRng;
 use orc11::{pct_strategy, random_strategy, GhostView, Loc, VecClock, View};
 
-fn view_strategy() -> impl Strategy<Value = View> {
-    prop::collection::vec((0u32..8, 0u64..20), 0..10).prop_map(|entries| {
-        let mut v = View::new();
-        for (l, t) in entries {
-            v.bump(Loc::from_raw(l), t);
-        }
-        v
-    })
+/// Seeds per property.
+const CASES: u64 = 300;
+
+fn gen_view(rng: &mut SmallRng) -> View {
+    let mut v = View::new();
+    for _ in 0..rng.gen_index(10) {
+        v.bump(
+            Loc::from_raw(rng.gen_range(0, 8) as u32),
+            rng.gen_range(0, 20),
+        );
+    }
+    v
 }
 
-fn vc_strategy() -> impl Strategy<Value = VecClock> {
-    prop::collection::vec(0u64..20, 0..6).prop_map(|cs| {
-        let mut vc = VecClock::new();
-        for (t, c) in cs.into_iter().enumerate() {
-            vc.bump(t, c);
-        }
-        vc
-    })
+fn gen_vc(rng: &mut SmallRng) -> VecClock {
+    let mut vc = VecClock::new();
+    for t in 0..rng.gen_index(6) {
+        vc.bump(t, rng.gen_range(0, 20));
+    }
+    vc
 }
 
-fn ghost_strategy() -> impl Strategy<Value = GhostView> {
-    prop::collection::vec((0u64..4, 0u64..30), 0..12).prop_map(|entries| {
-        let mut g = GhostView::new();
-        for (k, id) in entries {
-            g.insert(k, id);
-        }
-        g
-    })
+fn gen_ghost(rng: &mut SmallRng) -> GhostView {
+    let mut g = GhostView::new();
+    for _ in 0..rng.gen_index(12) {
+        g.insert(rng.gen_range(0, 4), rng.gen_range(0, 30));
+    }
+    g
 }
 
-proptest! {
-    #[test]
-    fn view_join_is_commutative(a in view_strategy(), b in view_strategy()) {
+#[test]
+fn view_join_is_commutative() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (gen_view(&mut rng), gen_view(&mut rng));
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
-        prop_assert_eq!(ab, ba);
+        assert_eq!(ab, ba, "seed {seed}");
     }
+}
 
-    #[test]
-    fn view_join_is_associative(
-        a in view_strategy(), b in view_strategy(), c in view_strategy()
-    ) {
+#[test]
+fn view_join_is_associative() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b, c) = (gen_view(&mut rng), gen_view(&mut rng), gen_view(&mut rng));
         let mut left = a.clone();
         left.join(&b);
         left.join(&c);
@@ -56,70 +63,90 @@ proptest! {
         bc.join(&c);
         let mut right = a.clone();
         right.join(&bc);
-        prop_assert_eq!(left, right);
+        assert_eq!(left, right, "seed {seed}");
     }
+}
 
-    #[test]
-    fn view_join_is_idempotent_and_upper_bound(a in view_strategy(), b in view_strategy()) {
+#[test]
+fn view_join_is_idempotent_and_upper_bound() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (gen_view(&mut rng), gen_view(&mut rng));
         let mut aa = a.clone();
         aa.join(&a);
-        prop_assert_eq!(&aa, &a);
+        assert_eq!(&aa, &a, "seed {seed}");
         let mut j = a.clone();
         j.join(&b);
-        prop_assert!(a.leq(&j));
-        prop_assert!(b.leq(&j));
+        assert!(a.leq(&j), "seed {seed}");
+        assert!(b.leq(&j), "seed {seed}");
     }
+}
 
-    #[test]
-    fn view_leq_is_antisymmetric(a in view_strategy(), b in view_strategy()) {
+#[test]
+fn view_leq_is_antisymmetric() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (gen_view(&mut rng), gen_view(&mut rng));
         if a.leq(&b) && b.leq(&a) {
-            prop_assert_eq!(a, b);
+            assert_eq!(a, b, "seed {seed}");
         }
     }
+}
 
-    #[test]
-    fn vc_lattice_laws(a in vc_strategy(), b in vc_strategy(), c in vc_strategy()) {
+#[test]
+fn vc_lattice_laws() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b, c) = (gen_vc(&mut rng), gen_vc(&mut rng), gen_vc(&mut rng));
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
-        prop_assert_eq!(&ab, &ba);
-        prop_assert!(a.leq(&ab) && b.leq(&ab));
+        assert_eq!(&ab, &ba, "seed {seed}");
+        assert!(a.leq(&ab) && b.leq(&ab), "seed {seed}");
         let mut abc1 = ab.clone();
         abc1.join(&c);
         let mut bc = b.clone();
         bc.join(&c);
         let mut abc2 = a.clone();
         abc2.join(&bc);
-        prop_assert_eq!(abc1, abc2);
+        assert_eq!(abc1, abc2, "seed {seed}");
     }
+}
 
-    #[test]
-    fn ghost_lattice_laws(a in ghost_strategy(), b in ghost_strategy()) {
+#[test]
+fn ghost_lattice_laws() {
+    for seed in 0..CASES {
+        let mut rng = SmallRng::seed_from_u64(seed);
+        let (a, b) = (gen_ghost(&mut rng), gen_ghost(&mut rng));
         let mut ab = a.clone();
         ab.join(&b);
         let mut ba = b.clone();
         ba.join(&a);
-        prop_assert_eq!(&ab, &ba);
-        prop_assert!(a.leq(&ab));
-        prop_assert!(b.leq(&ab));
+        assert_eq!(&ab, &ba, "seed {seed}");
+        assert!(a.leq(&ab), "seed {seed}");
+        assert!(b.leq(&ab), "seed {seed}");
         let mut aa = a.clone();
         aa.join(&a);
-        prop_assert_eq!(aa, a);
+        assert_eq!(aa, a, "seed {seed}");
     }
+}
 
-    #[test]
-    fn strategies_stay_in_range(seed in 0u64..1000, arity in 2usize..8) {
-        use orc11::ChoiceKind;
+#[test]
+fn strategies_stay_in_range() {
+    use orc11::ChoiceKind;
+    for seed in 0..200 {
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0xa11ce);
+        let arity = 2 + rng.gen_index(6);
         let mut r = random_strategy(seed);
         let mut p = pct_strategy(seed, 3, 100);
         for _ in 0..50 {
-            prop_assert!(r.choose(ChoiceKind::Read, arity) < arity);
-            prop_assert!(p.choose(ChoiceKind::Read, arity) < arity);
+            assert!(r.choose(ChoiceKind::Read, arity) < arity, "seed {seed}");
+            assert!(p.choose(ChoiceKind::Read, arity) < arity, "seed {seed}");
         }
         let candidates: Vec<usize> = (1..=arity).collect();
         for _ in 0..50 {
-            prop_assert!(p.choose_thread(&candidates) < arity);
+            assert!(p.choose_thread(&candidates) < arity, "seed {seed}");
         }
     }
 }

@@ -12,7 +12,7 @@
 //! | [`SplitExchanger`] | helper commits the pair in two instructions | `EXCHANGER-ATOMIC-PAIRS` (observable intermediate state) |
 //! | [`QueueAsStack`] | delivers in FIFO order (perfectly synchronized!) | `STACK-LIFO` — a pure ordering bug, no memory-model defect at all |
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::exchanger_spec::ExchangeEvent;
@@ -221,18 +221,12 @@ impl RelaxedTreiber {
             let v = ctx.read(node.field(VAL), Mode::Relaxed);
             let next = ctx.read(node.field(NEXT), Mode::Relaxed);
             let source = *self.push_events.lock().get(&node).expect("published node");
-            let (res, ev) = ctx.cas_with(
-                self.head,
-                h,
-                next,
-                Mode::Relaxed,
-                Mode::Relaxed,
-                |r, gh| {
+            let (res, ev) =
+                ctx.cas_with(self.head, h, next, Mode::Relaxed, Mode::Relaxed, |r, gh| {
                     r.new
                         .is_some()
                         .then(|| self.obj.commit_matched(gh, StackEvent::Pop(v), source))
-                },
-            );
+                });
             if res.is_ok() {
                 return (Some(v), ev.expect("committed"));
             }
@@ -397,7 +391,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| RelaxedMsQueue::new(ctx),
+                RelaxedMsQueue::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
                         q.enqueue(ctx, Val::Int(1));
@@ -421,7 +415,7 @@ mod tests {
     #[test]
     fn relaxed_hw_queue_violates_fifo() {
         let mut rules = std::collections::BTreeSet::new();
-        for seed in 0..400 {
+        for seed in 0..5000 {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
@@ -495,7 +489,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| RelaxedTreiber::new(ctx),
+                RelaxedTreiber::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, s: &RelaxedTreiber| {
                         s.push(ctx, Val::Int(1));
@@ -520,7 +514,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| SplitExchanger::new(ctx),
+                SplitExchanger::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, x: &SplitExchanger| {
                         x.exchange(ctx, Val::Int(1), 3);
@@ -627,7 +621,7 @@ mod order_tests {
         let out = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| QueueAsStack::new(ctx),
+            QueueAsStack::new,
             Vec::<BodyFn<'_, _, ()>>::new(),
             |ctx, s, _| {
                 s.push(ctx, Val::Int(1));
@@ -638,10 +632,7 @@ mod order_tests {
             },
         );
         let g = out.result.unwrap();
-        assert_eq!(
-            check_stack_consistent(&g).unwrap_err().rule,
-            "STACK-LIFO"
-        );
+        assert_eq!(check_stack_consistent(&g).unwrap_err().rule, "STACK-LIFO");
         assert!(check_linearizable(&g, &StackInterp).is_err());
     }
 
@@ -652,7 +643,7 @@ mod order_tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| QueueAsStack::new(ctx),
+                QueueAsStack::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, s: &QueueAsStack| {
                         s.push(ctx, Val::Int(1));

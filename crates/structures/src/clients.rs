@@ -9,9 +9,7 @@ use compass::queue_spec::{check_queue_consistent, QueueEvent};
 #[allow(unused_imports)]
 use compass::spsc_spec;
 use compass::{EventId, Graph};
-use orc11::{
-    run_model, BodyFn, Config, Loc, Mode, RunOutcome, Strategy, ThreadCtx, Val,
-};
+use orc11::{run_model, BodyFn, Config, Loc, Mode, RunOutcome, Strategy, ThreadCtx, Val};
 
 use crate::queue::{ModelQueue, MsQueue};
 
@@ -126,23 +124,27 @@ pub fn run_spsc(n: usize, strategy: Box<dyn Strategy>) -> RunOutcome<SpscResult>
             (q, a_p, a_c, n)
         },
         vec![
-            Box::new(|ctx: &mut ThreadCtx, (q, a_p, _, n): &(MsQueue, Loc, Loc, usize)| {
-                let mut evs = Vec::new();
-                for i in 0..*n {
-                    let v = ctx.read(a_p.field(i as u32), Mode::NonAtomic);
-                    evs.push(q.enqueue(ctx, v));
-                }
-                evs
-            }) as BodyFn<'_, _, Vec<EventId>>,
-            Box::new(|ctx: &mut ThreadCtx, (q, _, a_c, n): &(MsQueue, Loc, Loc, usize)| {
-                let mut evs = Vec::new();
-                for i in 0..*n {
-                    let (v, ev) = q.dequeue_await(ctx);
-                    ctx.write(a_c.field(i as u32), v, Mode::NonAtomic);
-                    evs.push(ev);
-                }
-                evs
-            }),
+            Box::new(
+                |ctx: &mut ThreadCtx, (q, a_p, _, n): &(MsQueue, Loc, Loc, usize)| {
+                    let mut evs = Vec::new();
+                    for i in 0..*n {
+                        let v = ctx.read(a_p.field(i as u32), Mode::NonAtomic);
+                        evs.push(q.enqueue(ctx, v));
+                    }
+                    evs
+                },
+            ) as BodyFn<'_, _, Vec<EventId>>,
+            Box::new(
+                |ctx: &mut ThreadCtx, (q, _, a_c, n): &(MsQueue, Loc, Loc, usize)| {
+                    let mut evs = Vec::new();
+                    for i in 0..*n {
+                        let (v, ev) = q.dequeue_await(ctx);
+                        ctx.write(a_c.field(i as u32), v, Mode::NonAtomic);
+                        evs.push(ev);
+                    }
+                    evs
+                },
+            ),
         ],
         |ctx, (q, _, a_c, n), outs| {
             let consumed: Vec<Val> = (0..*n)
@@ -164,8 +166,7 @@ pub fn run_spsc(n: usize, strategy: Box<dyn Strategy>) -> RunOutcome<SpscResult>
 /// client-visible property that the consumer received exactly
 /// `100..100+n` in order.
 pub fn check_spsc(res: &SpscResult, n: usize) -> Result<(), String> {
-    compass::spsc_spec::derive_spsc(&res.graph)
-        .map_err(|v| format!("queue inconsistent: {v}"))?;
+    compass::spsc_spec::derive_spsc(&res.graph).map_err(|v| format!("queue inconsistent: {v}"))?;
     let expected: Vec<Val> = (0..n as i64).map(|i| Val::Int(100 + i)).collect();
     if res.consumed != expected {
         return Err(format!(

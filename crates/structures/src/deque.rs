@@ -28,7 +28,7 @@
 //! both take the same element, which the `DEQUE-INJ` condition catches
 //! (see `crate::buggy` tests).
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::deque_spec::DequeEvent;

@@ -24,7 +24,7 @@
 //! the matched threads *synchronize with each other*, supporting resource
 //! exchange.
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -337,11 +337,10 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| Exchanger::new(ctx),
+                Exchanger::new,
                 vec![
-                    Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| {
-                        x.exchange(ctx, Val::Int(1), 3).0
-                    }) as BodyFn<'_, _, _>,
+                    Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| x.exchange(ctx, Val::Int(1), 3).0)
+                        as BodyFn<'_, _, _>,
                     Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| {
                         x.exchange(ctx, Val::Int(2), 3).0
                     }),
@@ -372,10 +371,11 @@ mod tests {
         let out = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| Exchanger::new(ctx),
-            vec![Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| {
-                x.exchange(ctx, Val::Int(1), 2).0
-            }) as BodyFn<'_, _, _>],
+            Exchanger::new,
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| x.exchange(ctx, Val::Int(1), 2).0)
+                    as BodyFn<'_, _, _>,
+            ],
             |_, x, outs| {
                 assert_eq!(outs[0], None);
                 let g = x.obj().snapshot();
@@ -392,7 +392,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| Exchanger::new(ctx),
+                Exchanger::new,
                 (0..3)
                     .map(|i| {
                         Box::new(move |ctx: &mut ThreadCtx, x: &Exchanger| {
@@ -401,8 +401,7 @@ mod tests {
                     })
                     .collect(),
                 |_, x, _| {
-                    check_exchanger_consistent(&x.obj().snapshot())
-                        .expect("ExchangerConsistent");
+                    check_exchanger_consistent(&x.obj().snapshot()).expect("ExchangerConsistent");
                 },
             );
             out.result.unwrap_or_else(|e| panic!("seed {seed}: {e}"));
@@ -415,7 +414,7 @@ mod tests {
         let _ = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| Exchanger::new(ctx),
+            Exchanger::new,
             Vec::<BodyFn<'_, _, ()>>::new(),
             |ctx, x, _| {
                 x.exchange(ctx, Val::Null, 1);

@@ -21,7 +21,7 @@
 //! * **empty dequeue** — the final read of the scan (or the initial
 //!   acquire read of `tail` when the range is empty).
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::queue_spec::QueueEvent;

@@ -7,7 +7,7 @@
 //! race-free and trivially satisfies every spec style, including
 //! `LAT_hb^abs` — at the cost of all concurrency.
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::queue_spec::QueueEvent;
@@ -100,7 +100,7 @@ mod tests {
         let out = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| LockQueue::new(ctx),
+            LockQueue::new,
             Vec::<BodyFn<'_, _, ()>>::new(),
             |ctx, q, _| {
                 q.enqueue(ctx, Val::Int(1));
@@ -124,7 +124,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| LockQueue::new(ctx),
+                LockQueue::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, q: &LockQueue| {
                         q.enqueue(ctx, Val::Int(1));

@@ -15,7 +15,7 @@
 //! * **empty dequeue** — the acquire read of `head.next` that returned
 //!   null.
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::queue_spec::QueueEvent;
@@ -188,7 +188,7 @@ mod tests {
         let out = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| MsQueue::new(ctx),
+            MsQueue::new,
             Vec::<BodyFn<'_, _, ()>>::new(),
             |ctx, q, _| {
                 q.enqueue(ctx, Val::Int(1));
@@ -211,7 +211,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| MsQueue::new(ctx),
+                MsQueue::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
                         q.enqueue(ctx, Val::Int(10));
@@ -241,7 +241,7 @@ mod tests {
         let out = run_model(
             &Config::default(),
             random_strategy(3),
-            |ctx| MsQueue::new(ctx),
+            MsQueue::new,
             vec![
                 Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
                     q.enqueue(ctx, Val::Int(7));

@@ -11,7 +11,7 @@
 //! consumer's release store of `head` (dequeue), and the consumer's
 //! acquire read of `tail` that observed emptiness (empty dequeue).
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::queue_spec::QueueEvent;

@@ -19,7 +19,7 @@
 //! sub-libraries — the composition is modular, mirroring the paper's proof
 //! that relies solely on the sub-libraries' Compass specs.
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::stack_spec::StackEvent;
@@ -142,7 +142,9 @@ impl ElimStack {
         if let Ok(base_ev) = self.base.try_push_hooked(ctx, v, &BaseHook(self)) {
             return Some(self.es_event_of_base(base_ev));
         }
-        let (got, xid) = self.ex.exchange_hooked(ctx, v, self.patience, &ElimHook(self));
+        let (got, xid) = self
+            .ex
+            .exchange_hooked(ctx, v, self.patience, &ElimHook(self));
         match got {
             Some(g) if g == SENTINEL => Some(
                 *self
@@ -225,8 +227,7 @@ mod tests {
         check_stack_consistent(&g).expect("ES StackConsistent");
         check_linearizable(&g, &StackInterp).expect("ES linearizable");
         check_stack_consistent(&s.base_obj().snapshot()).expect("base StackConsistent");
-        check_exchanger_consistent(&s.exchanger_obj().snapshot())
-            .expect("ExchangerConsistent");
+        check_exchanger_consistent(&s.exchanger_obj().snapshot()).expect("ExchangerConsistent");
     }
 
     #[test]

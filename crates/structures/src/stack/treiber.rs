@@ -13,7 +13,7 @@
 //! * **pop** — the successful acquire CAS swinging head to the successor;
 //! * **empty pop** — the (acquire) read of head that returned null.
 
-use parking_lot::Mutex;
+use orc11::sync::Mutex;
 use std::collections::HashMap;
 
 use compass::stack_spec::StackEvent;
@@ -80,6 +80,7 @@ impl TreiberStack {
 
     /// Single-attempt push (`try_push'` of §4.1): `Err(())` is
     /// `FAIL_RACE` — no event committed.
+    #[allow(clippy::result_unit_err)]
     pub fn try_push_hooked(
         &self,
         ctx: &mut ThreadCtx,
@@ -125,20 +126,13 @@ impl TreiberStack {
             .lock()
             .get(&node)
             .expect("published node has a push event");
-        let (res, ev) = ctx.cas_with(
-            self.head,
-            h,
-            next,
-            Mode::Acquire,
-            Mode::Relaxed,
-            |r, gh| {
-                r.new.is_some().then(|| {
-                    let id = self.obj.commit_matched(gh, StackEvent::Pop(v), source);
-                    hook.on_pop(gh, id, source, v);
-                    id
-                })
-            },
-        );
+        let (res, ev) = ctx.cas_with(self.head, h, next, Mode::Acquire, Mode::Relaxed, |r, gh| {
+            r.new.is_some().then(|| {
+                let id = self.obj.commit_matched(gh, StackEvent::Pop(v), source);
+                hook.on_pop(gh, id, source, v);
+                id
+            })
+        });
         match res {
             Ok(_) => TryPop::Popped(v, ev.expect("committed")),
             Err(_) => TryPop::Raced,
@@ -183,7 +177,7 @@ mod tests {
         let out = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| TreiberStack::new(ctx),
+            TreiberStack::new,
             Vec::<BodyFn<'_, _, ()>>::new(),
             |ctx, s, _| {
                 assert_eq!(s.pop(ctx).0, None);
@@ -207,7 +201,7 @@ mod tests {
             let out = run_model(
                 &Config::default(),
                 random_strategy(seed),
-                |ctx| TreiberStack::new(ctx),
+                TreiberStack::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, s: &TreiberStack| {
                         s.push(ctx, Val::Int(10));
@@ -238,7 +232,7 @@ mod tests {
         let out = run_model(
             &Config::default(),
             random_strategy(0),
-            |ctx| TreiberStack::new(ctx),
+            TreiberStack::new,
             Vec::<BodyFn<'_, _, ()>>::new(),
             |ctx, s, _| {
                 // No contention: single attempts always succeed.

@@ -45,7 +45,10 @@ fn main() {
     assert_eq!(s.es_consistent, s.runs, "composition must be consistent");
 
     println!("\nPart 2 — native throughput, mixed push/pop (Mops/s):");
-    println!("{:>8} {:>10} {:>12} {:>10}", "threads", "treiber", "elimination", "mutex");
+    println!(
+        "{:>8} {:>10} {:>12} {:>10}",
+        "threads", "treiber", "elimination", "mutex"
+    );
     let ops = 100_000u64;
     for threads in [1usize, 2, 4, 8] {
         let treiber = time_stack(&TreiberStack::new(), threads, ops);

@@ -9,9 +9,18 @@ use orc11::litmus::gallery;
 
 fn main() {
     for (report, verdict) in [
-        (gallery::mp_rel_acq().dfs(100_000), "stale data read is FORBIDDEN"),
-        (gallery::mp_relaxed().dfs(100_000), "stale data read is ALLOWED"),
-        (gallery::mp_fences().dfs(100_000), "fences restore the guarantee"),
+        (
+            gallery::mp_rel_acq().dfs(100_000),
+            "stale data read is FORBIDDEN",
+        ),
+        (
+            gallery::mp_relaxed().dfs(100_000),
+            "stale data read is ALLOWED",
+        ),
+        (
+            gallery::mp_fences().dfs(100_000),
+            "fences restore the guarantee",
+        ),
         (gallery::sb().dfs(100_000), "both-read-zero is ALLOWED"),
         (gallery::corr().dfs(200_000), "per-location coherence holds"),
         (
@@ -26,7 +35,10 @@ fn main() {
             gallery::release_sequence().dfs(200_000),
             "release sequences extend through relaxed RMWs",
         ),
-        (gallery::rmw_atomicity().dfs(100_000), "RMWs never duplicate"),
+        (
+            gallery::rmw_atomicity().dfs(100_000),
+            "RMWs never duplicate",
+        ),
     ] {
         println!("{report}  ⇒ {verdict}\n");
     }

@@ -18,7 +18,11 @@ fn main() {
     let seeds = 300;
     let mut outcomes = std::collections::BTreeMap::new();
     for seed in 0..seeds {
-        let out = run_mp(MsQueue::new, /* release flag */ true, random_strategy(seed));
+        let out = run_mp(
+            MsQueue::new,
+            /* release flag */ true,
+            random_strategy(seed),
+        );
         let res = match out.result {
             Ok(r) => r,
             Err(e) => {
@@ -31,7 +35,9 @@ fn main() {
             eprintln!("graph:\n{}", res.graph);
             std::process::exit(1);
         }
-        *outcomes.entry(format!("{:?}", res.right_value)).or_insert(0u32) += 1;
+        *outcomes
+            .entry(format!("{:?}", res.right_value))
+            .or_insert(0u32) += 1;
     }
     println!("Message-Passing client over the Michael-Scott queue, {seeds} interleavings:");
     for (outcome, count) in &outcomes {

@@ -23,7 +23,12 @@ fn main() {
     // A consistent history: two ordered enqueues, dequeued in order by a
     // consumer that synchronized with both.
     let mut good: Graph<QueueEvent> = Graph::new();
-    good.add_event(QueueEvent::Enq(Val::Int(41)), 1, 1, [id(0)].into_iter().collect());
+    good.add_event(
+        QueueEvent::Enq(Val::Int(41)),
+        1,
+        1,
+        [id(0)].into_iter().collect(),
+    );
     good.add_event(
         QueueEvent::Enq(Val::Int(42)),
         1,
@@ -53,7 +58,12 @@ fn main() {
     // The same history with the dequeues swapped: the second enqueue is
     // taken while the (hb-earlier) first is still in the queue.
     let mut bad: Graph<QueueEvent> = Graph::new();
-    bad.add_event(QueueEvent::Enq(Val::Int(41)), 1, 1, [id(0)].into_iter().collect());
+    bad.add_event(
+        QueueEvent::Enq(Val::Int(41)),
+        1,
+        1,
+        [id(0)].into_iter().collect(),
+    );
     bad.add_event(
         QueueEvent::Enq(Val::Int(42)),
         1,
@@ -76,7 +86,12 @@ fn main() {
     // An empty dequeue that happens-after an un-dequeued enqueue: the
     // QUEUE-EMPDEQ condition — the engine behind Figure 1's guarantee.
     let mut emp: Graph<QueueEvent> = Graph::new();
-    emp.add_event(QueueEvent::Enq(Val::Int(7)), 1, 1, [id(0)].into_iter().collect());
+    emp.add_event(
+        QueueEvent::Enq(Val::Int(7)),
+        1,
+        1,
+        [id(0)].into_iter().collect(),
+    );
     emp.add_event(
         QueueEvent::EmpDeq,
         2,
@@ -92,7 +107,12 @@ fn main() {
     // The same empty dequeue WITHOUT the lhb edge: a weak (relaxed)
     // dequeue that simply had not seen the enqueue — allowed.
     let mut weak: Graph<QueueEvent> = Graph::new();
-    weak.add_event(QueueEvent::Enq(Val::Int(7)), 1, 1, [id(0)].into_iter().collect());
+    weak.add_event(
+        QueueEvent::Enq(Val::Int(7)),
+        1,
+        1,
+        [id(0)].into_iter().collect(),
+    );
     weak.add_event(QueueEvent::EmpDeq, 2, 2, [id(1)].into_iter().collect());
     println!("\n— the same empty dequeue, unsynchronized —");
     match check_queue_consistent(&weak) {

@@ -4,12 +4,32 @@
 set -euo pipefail
 out="${1:-experiment-results}"
 mkdir -p "$out"
+# Each e* binary also writes machine-readable metrics ($out/<exp>.json,
+# see EXPERIMENTS.md, "Observability & replay").
+export COMPASS_RESULTS_DIR="$out"
 cargo build --release -p compass-bench
-for exp in e1_mp e2_spec_matrix e4_hist_stack e5_elimination e6_sizes e7_spsc e8_litmus e9_deque e10_strategies; do
+exps=(e1_mp e2_spec_matrix e4_hist_stack e5_elimination e6_sizes e7_spsc e8_litmus e9_deque e10_strategies)
+for exp in "${exps[@]}"; do
   echo "=== $exp ==="
   ./target/release/"$exp" | tee "$out/$exp.txt"
   echo
 done
 echo "E11/E12 run as integration tests:"
 cargo test --release --test flexibility -- --nocapture | tee "$out/e11_e12.txt"
-echo "Results written to $out/"
+
+# Collect the per-experiment metrics into one summary document.
+summary="$out/summary.json"
+{
+  printf '{\n  "schema_version": 1,\n  "experiments": [\n'
+  first=1
+  for exp in "${exps[@]}"; do
+    f="$out/$exp.json"
+    [ -f "$f" ] || continue
+    [ "$first" -eq 1 ] || printf ',\n'
+    first=0
+    body=$(sed 's/^/    /' "$f") # $() strips the trailing newline
+    printf '%s' "$body"
+  done
+  printf '\n  ]\n}\n'
+} >"$summary"
+echo "Results written to $out/ (summary: $summary)"

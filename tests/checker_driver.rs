@@ -42,7 +42,10 @@ fn explore<Q: ModelQueue>(
 #[test]
 fn ms_queue_clean_under_every_strategy() {
     for e in [
-        Exploration::Random { iters: 150, seed0: 0 },
+        Exploration::Random {
+            iters: 150,
+            seed0: 0,
+        },
         Exploration::Pct {
             iters: 150,
             seed0: 0,

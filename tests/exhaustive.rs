@@ -32,7 +32,7 @@ fn ms_queue_one_enq_one_deq_exhaustive() {
             run_model(
                 &Config::default(),
                 strategy,
-                |ctx| MsQueue::new(ctx),
+                MsQueue::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
                         q.enqueue(ctx, Val::Int(1));
@@ -78,7 +78,7 @@ fn hw_queue_one_enq_two_deq_exhaustive() {
                 |_, q, _| q.obj().snapshot(),
             )
         },
-        |g| check_queue_consistent_prefixes(g),
+        check_queue_consistent_prefixes,
     );
     assert!(report.exhausted, "should exhaust: {report}");
     report.assert_clean();
@@ -92,7 +92,7 @@ fn treiber_one_push_one_pop_exhaustive() {
             run_model(
                 &Config::default(),
                 strategy,
-                |ctx| TreiberStack::new(ctx),
+                TreiberStack::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, s: &TreiberStack| {
                         s.push(ctx, Val::Int(1));
@@ -123,7 +123,7 @@ fn exchanger_pair_exhaustive() {
             run_model(
                 &Config::default(),
                 strategy,
-                |ctx| Exchanger::new(ctx),
+                Exchanger::new,
                 vec![
                     Box::new(|ctx: &mut ThreadCtx, x: &Exchanger| {
                         x.exchange(ctx, Val::Int(1), 1);
@@ -135,7 +135,7 @@ fn exchanger_pair_exhaustive() {
                 |_, x, _| x.obj().snapshot(),
             )
         },
-        |g| check_exchanger_consistent(g),
+        check_exchanger_consistent,
     );
     assert!(report.exhausted, "should exhaust: {report}");
     report.assert_clean();

@@ -45,7 +45,8 @@ fn figure3_annotations_hold() {
                     assert!(s_init.le(&s1), "Seen is monotone");
                     ctx.write(*flag, Val::Int(1), Mode::Release);
                     (Some((e1, e2)), None)
-                }) as BodyFn<'_, _, (Option<(EventId, EventId)>, Option<(Val, Seen)>)>,
+                })
+                    as BodyFn<'_, _, (Option<(EventId, EventId)>, Option<(Val, Seen)>)>,
                 // Middle thread: one dequeue, no flag.
                 Box::new(|ctx: &mut ThreadCtx, (q, _): &(MsQueue, Loc)| {
                     q.try_dequeue(ctx);
@@ -81,9 +82,9 @@ fn figure3_annotations_hold() {
                 s3.still_valid(&g).unwrap();
                 // And the value the right thread got matches an enqueue
                 // it has observed.
-                let matches_observed = g.iter().any(|(id, ev)| {
-                    s3.observed(id) && ev.ty == QueueEvent::Enq(v)
-                });
+                let matches_observed = g
+                    .iter()
+                    .any(|(id, ev)| s3.observed(id) && ev.ty == QueueEvent::Enq(v));
                 assert!(matches_observed);
             },
         );
@@ -115,9 +116,7 @@ fn figure3_contradiction_branch_is_unreachable() {
                     ctx.write(*flag, Val::Int(1), Mode::Release);
                     None
                 }) as BodyFn<'_, _, Option<Val>>,
-                Box::new(|ctx: &mut ThreadCtx, (q, _): &(MsQueue, Loc)| {
-                    q.try_dequeue(ctx).0
-                }),
+                Box::new(|ctx: &mut ThreadCtx, (q, _): &(MsQueue, Loc)| q.try_dequeue(ctx).0),
                 Box::new(|ctx: &mut ThreadCtx, (q, flag): &(MsQueue, Loc)| {
                     ctx.read_await(*flag, Mode::Acquire, |v| v == Val::Int(1));
                     q.try_dequeue(ctx).0

@@ -103,7 +103,7 @@ fn exchanger_transfers_resources() {
         let out = run_model(
             &Config::default(),
             random_strategy(seed),
-            |ctx| Exchanger::new(ctx),
+            Exchanger::new,
             (0..2)
                 .map(|i| {
                     Box::new(move |ctx: &mut ThreadCtx, x: &Exchanger| {
@@ -115,7 +115,11 @@ fn exchanger_transfers_resources() {
                                 // We own the partner's buffer now:
                                 // non-atomic access must be race-free.
                                 let received = ctx.read(theirs, Mode::NonAtomic);
-                                ctx.write(theirs, Val::Int(received.expect_int() * 2), Mode::NonAtomic);
+                                ctx.write(
+                                    theirs,
+                                    Val::Int(received.expect_int() * 2),
+                                    Mode::NonAtomic,
+                                );
                                 Some(received)
                             }
                             None => None,
@@ -124,8 +128,7 @@ fn exchanger_transfers_resources() {
                 })
                 .collect(),
             |_, x, outs| {
-                compass::exchanger_spec::check_exchanger_consistent(&x.obj().snapshot())
-                    .unwrap();
+                compass::exchanger_spec::check_exchanger_consistent(&x.obj().snapshot()).unwrap();
                 outs
             },
         );

@@ -33,7 +33,10 @@ fn mp_hw_queue_bounded_dfs() {
         3_000,
         |strategy| run_mp(|ctx| HwQueue::new(ctx, 4), true, strategy),
         |n, out| {
-            let res = out.result.as_ref().unwrap_or_else(|e| panic!("exec {n}: {e}"));
+            let res = out
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("exec {n}: {e}"));
             check_mp(res, true).unwrap_or_else(|e| panic!("exec {n}: {e}"));
             checked += 1;
         },

@@ -2,18 +2,23 @@
 //! sequential oracle runs are always accepted; targeted mutations are
 //! always rejected; the linearization search is sound and agrees with the
 //! oracle.
+//!
+//! Properties are exercised over deterministic seeded random operation
+//! sequences (the repository builds offline with no property-testing
+//! dependency); every failure message carries the seed, and the generator
+//! is a pure function of it.
 
 use std::collections::{BTreeSet, VecDeque};
 
-use proptest::prelude::*;
-
-use compass::history::{
-    find_linearization, validate_linearization, QueueInterp, StackInterp,
-};
+use compass::history::{find_linearization, validate_linearization, QueueInterp, StackInterp};
 use compass::queue_spec::{check_queue_consistent, QueueEvent};
 use compass::stack_spec::{check_stack_consistent, StackEvent};
 use compass::{EventId, Graph};
+use orc11::rng::SmallRng;
 use orc11::Val;
+
+/// Seeds per property; generation is cheap and graphs are small.
+const CASES: u64 = 300;
 
 /// An abstract operation for the oracle generators.
 #[derive(Copy, Clone, Debug)]
@@ -22,14 +27,20 @@ enum Op {
     Remove,
 }
 
-fn ops_strategy() -> impl Strategy<Value = Vec<Op>> {
-    prop::collection::vec(
-        prop_oneof![
-            (0i64..50).prop_map(Op::Insert),
-            Just(Op::Remove),
-        ],
-        0..24,
-    )
+/// Mirrors the original proptest strategy: up to 24 operations, inserts of
+/// small values and removes equally likely.
+fn gen_ops(seed: u64) -> Vec<Op> {
+    let mut rng = SmallRng::seed_from_u64(seed ^ 0x6f70_735f_6765_6e21);
+    let len = rng.gen_index(24);
+    (0..len)
+        .map(|_| {
+            if rng.gen_bool() {
+                Op::Insert(rng.gen_range(0, 50) as i64)
+            } else {
+                Op::Remove
+            }
+        })
+        .collect()
 }
 
 /// Runs `ops` through a sequential queue, building a totally-ordered
@@ -106,40 +117,69 @@ fn stack_graph(ops: &[Op], full_visibility: bool) -> Graph<StackEvent> {
     g
 }
 
-proptest! {
-    #[test]
-    fn sequential_queue_histories_are_consistent(ops in ops_strategy()) {
+#[test]
+fn sequential_queue_histories_are_consistent() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
         let g = queue_graph(&ops, true);
-        prop_assert!(check_queue_consistent(&g).is_ok(), "{:?}", check_queue_consistent(&g));
+        assert!(
+            check_queue_consistent(&g).is_ok(),
+            "seed {seed}: {:?}",
+            check_queue_consistent(&g)
+        );
         // The identity order is a linearization witness.
         let order = compass::abs::commit_order(&g);
-        prop_assert!(validate_linearization(&g, &QueueInterp, &order).is_ok());
+        assert!(
+            validate_linearization(&g, &QueueInterp, &order).is_ok(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn thin_visibility_queue_histories_are_consistent(ops in ops_strategy()) {
-        // Minimal logviews (only so edges) are weaker premises: the
-        // conditions must still hold.
+#[test]
+fn thin_visibility_queue_histories_are_consistent() {
+    // Minimal logviews (only so edges) are weaker premises: the
+    // conditions must still hold.
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
         let g = queue_graph(&ops, false);
-        prop_assert!(check_queue_consistent(&g).is_ok());
-        prop_assert!(find_linearization(&g, &QueueInterp, &[]).is_some());
+        assert!(check_queue_consistent(&g).is_ok(), "seed {seed}");
+        assert!(
+            find_linearization(&g, &QueueInterp, &[]).is_some(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn sequential_stack_histories_are_consistent(ops in ops_strategy()) {
+#[test]
+fn sequential_stack_histories_are_consistent() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
         let g = stack_graph(&ops, true);
-        prop_assert!(check_stack_consistent(&g).is_ok(), "{:?}", check_stack_consistent(&g));
+        assert!(
+            check_stack_consistent(&g).is_ok(),
+            "seed {seed}: {:?}",
+            check_stack_consistent(&g)
+        );
         let order = compass::abs::commit_order(&g);
-        prop_assert!(validate_linearization(&g, &StackInterp, &order).is_ok());
+        assert!(
+            validate_linearization(&g, &StackInterp, &order).is_ok(),
+            "seed {seed}"
+        );
     }
+}
 
-    #[test]
-    fn corrupting_a_dequeue_value_is_caught(ops in ops_strategy()) {
+#[test]
+fn corrupting_a_dequeue_value_is_caught() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
         let g = queue_graph(&ops, true);
         // Find a successful dequeue and corrupt its value to a fresh one.
-        let victim = g.iter().find(|(_, e)| matches!(e.ty, QueueEvent::Deq(_))).map(|(id, _)| id);
-        prop_assume!(victim.is_some());
-        let victim = victim.unwrap();
+        let victim = g
+            .iter()
+            .find(|(_, e)| matches!(e.ty, QueueEvent::Deq(_)))
+            .map(|(id, _)| id);
+        let Some(victim) = victim else { continue };
         let mut events: Vec<_> = g.iter().map(|(_, e)| e.clone()).collect();
         events[victim.index()].ty = QueueEvent::Deq(Val::Int(999));
         let mut g2: Graph<QueueEvent> = Graph::new();
@@ -149,13 +189,18 @@ proptest! {
         for &(a, b) in g.so() {
             g2.add_so(a, b);
         }
-        prop_assert!(check_queue_consistent(&g2).is_err());
+        assert!(check_queue_consistent(&g2).is_err(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn dropping_an_so_edge_is_caught(ops in ops_strategy()) {
+#[test]
+fn dropping_an_so_edge_is_caught() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
         let g = queue_graph(&ops, true);
-        prop_assume!(!g.so().is_empty());
+        if g.so().is_empty() {
+            continue;
+        }
         let drop_edge = *g.so().iter().next().unwrap();
         let mut g2: Graph<QueueEvent> = Graph::new();
         for (_, e) in g.iter() {
@@ -167,27 +212,41 @@ proptest! {
             }
         }
         // The orphaned dequeue violates injectivity (and usually FIFO).
-        prop_assert!(check_queue_consistent(&g2).is_err());
+        assert!(check_queue_consistent(&g2).is_err(), "seed {seed}");
     }
+}
 
-    #[test]
-    fn linearization_search_is_sound(ops in ops_strategy()) {
-        // Whatever the search returns must validate.
+#[test]
+fn linearization_search_is_sound() {
+    // Whatever the search returns must validate.
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
         let g = queue_graph(&ops, false);
         if let Some(order) = find_linearization(&g, &QueueInterp, &[]) {
-            prop_assert!(validate_linearization(&g, &QueueInterp, &order).is_ok());
+            assert!(
+                validate_linearization(&g, &QueueInterp, &order).is_ok(),
+                "seed {seed}"
+            );
         }
         let s = stack_graph(&ops, false);
         if let Some(order) = find_linearization(&s, &StackInterp, &[]) {
-            prop_assert!(validate_linearization(&s, &StackInterp, &order).is_ok());
+            assert!(
+                validate_linearization(&s, &StackInterp, &order).is_ok(),
+                "seed {seed}"
+            );
         }
     }
+}
 
-    #[test]
-    fn prefix_graphs_stay_well_formed(ops in ops_strategy(), cut in 0u64..30) {
+#[test]
+fn prefix_graphs_stay_well_formed() {
+    for seed in 0..CASES {
+        let ops = gen_ops(seed);
+        let mut rng = SmallRng::seed_from_u64(seed ^ 0x6375_745f_7074);
+        let cut = rng.gen_range(0, 30);
         let g = queue_graph(&ops, true);
         let p = g.prefix_at(cut);
-        prop_assert!(p.check_well_formed().is_ok());
-        prop_assert!(check_queue_consistent(&p).is_ok());
+        assert!(p.check_well_formed().is_ok(), "seed {seed} cut {cut}");
+        assert!(check_queue_consistent(&p).is_ok(), "seed {seed} cut {cut}");
     }
 }

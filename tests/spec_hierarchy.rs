@@ -49,8 +49,7 @@ fn run_workload<Q: compass_repro::structures::queue::ModelQueue>(
 fn ms_satisfies_all_styles_including_prefixes() {
     for seed in 0..80 {
         let g = run_workload(MsQueue::new, seed);
-        check_queue_consistent_prefixes(&g)
-            .unwrap_or_else(|v| panic!("seed {seed}: {v}"));
+        check_queue_consistent_prefixes(&g).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         replay_commit_order(&g, &QueueInterp).unwrap_or_else(|v| panic!("seed {seed}: {v}"));
         assert!(find_linearization(&g, &QueueInterp, &[]).is_some());
     }
@@ -92,8 +91,7 @@ fn buggy_variants_fall_off_the_hierarchy() {
         if check_queue_consistent(&run_workload(RelaxedMsQueue::new, seed)).is_err() {
             ms_bad += 1;
         }
-        if check_queue_consistent(&run_workload(|ctx| RelaxedHwQueue::new(ctx, 8), seed)).is_err()
-        {
+        if check_queue_consistent(&run_workload(|ctx| RelaxedHwQueue::new(ctx, 8), seed)).is_err() {
             hw_bad += 1;
         }
     }

@@ -23,11 +23,17 @@ fn spsc_exhaustive_small() {
         50_000,
         |strategy| run_spsc(1, strategy),
         |n, out| {
-            let res = out.result.as_ref().unwrap_or_else(|e| panic!("exec {n}: {e}"));
+            let res = out
+                .result
+                .as_ref()
+                .unwrap_or_else(|e| panic!("exec {n}: {e}"));
             check_spsc(res, 1).unwrap_or_else(|e| panic!("exec {n}: {e}"));
         },
     );
-    assert!(report.exhausted, "n=1 SPSC should be fully explorable: {report}");
+    assert!(
+        report.exhausted,
+        "n=1 SPSC should be fully explorable: {report}"
+    );
     assert_eq!(report.error_count, 0);
 }
 

@@ -15,7 +15,13 @@ fn shipped_structures_are_race_free() {
         let out = run_model(
             &Config::default(),
             random_strategy(seed),
-            |ctx| (MsQueue::new(ctx), HwQueue::new(ctx, 8), TreiberStack::new(ctx)),
+            |ctx| {
+                (
+                    MsQueue::new(ctx),
+                    HwQueue::new(ctx, 8),
+                    TreiberStack::new(ctx),
+                )
+            },
             vec![
                 Box::new(
                     |ctx: &mut ThreadCtx, (q, h, s): &(MsQueue, HwQueue, TreiberStack)| {
@@ -61,14 +67,18 @@ fn unsynchronized_nonatomic_sharing_races() {
                 )
             },
             vec![
-                Box::new(|ctx: &mut ThreadCtx, &(cell, flag): &(orc11::Loc, orc11::Loc)| {
-                    ctx.write(cell, Val::Int(1), Mode::NonAtomic);
-                    ctx.write(flag, Val::Int(1), Mode::Relaxed); // BUG: not release
-                }) as BodyFn<'_, _, ()>,
-                Box::new(|ctx: &mut ThreadCtx, &(cell, flag): &(orc11::Loc, orc11::Loc)| {
-                    ctx.read_await(flag, Mode::Acquire, |v| v == Val::Int(1));
-                    ctx.read(cell, Mode::NonAtomic);
-                }),
+                Box::new(
+                    |ctx: &mut ThreadCtx, &(cell, flag): &(orc11::Loc, orc11::Loc)| {
+                        ctx.write(cell, Val::Int(1), Mode::NonAtomic);
+                        ctx.write(flag, Val::Int(1), Mode::Relaxed); // BUG: not release
+                    },
+                ) as BodyFn<'_, _, ()>,
+                Box::new(
+                    |ctx: &mut ThreadCtx, &(cell, flag): &(orc11::Loc, orc11::Loc)| {
+                        ctx.read_await(flag, Mode::Acquire, |v| v == Val::Int(1));
+                        ctx.read(cell, Mode::NonAtomic);
+                    },
+                ),
             ],
             |_, _, _| (),
         );
@@ -111,7 +121,7 @@ fn model_queue_multiset_preserved() {
         let out = run_model(
             &Config::default(),
             random_strategy(seed),
-            |ctx| MsQueue::new(ctx),
+            MsQueue::new,
             vec![
                 Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
                     vec![
@@ -153,7 +163,7 @@ fn op_log_records_full_executions() {
             ..Config::default()
         },
         random_strategy(5),
-        |ctx| MsQueue::new(ctx),
+        MsQueue::new,
         vec![
             Box::new(|ctx: &mut ThreadCtx, q: &MsQueue| {
                 q.enqueue(ctx, Val::Int(7));
@@ -165,12 +175,15 @@ fn op_log_records_full_executions() {
         |_, _, _| (),
     );
     assert!(out.result.is_ok());
-    assert_eq!(out.ops.len() as u64, out.steps, "one record per instruction");
+    assert_eq!(
+        out.ops.len() as u64,
+        out.steps,
+        "one record per instruction"
+    );
     // The log contains the release-CAS commit of the enqueue...
-    assert!(out
-        .ops
-        .iter()
-        .any(|op| matches!(&op.kind, OpKindRecord::Rmw { new: Some(v), .. } if v.as_loc().is_some())));
+    assert!(out.ops.iter().any(
+        |op| matches!(&op.kind, OpKindRecord::Rmw { new: Some(v), .. } if v.as_loc().is_some())
+    ));
     // ...and renders one line per instruction with location names.
     let rendered = render_ops(&out.ops);
     assert_eq!(rendered.lines().count(), out.ops.len());

@@ -7,7 +7,9 @@ use compass::history::{find_linearization, validate_linearization};
 use compass_repro::structures::deque::{ChaseLevDeque, Steal};
 use orc11::{pct_strategy, random_strategy, run_model, BodyFn, Config, Strategy, ThreadCtx, Val};
 
-fn run_forkjoin(strategy: Box<dyn Strategy>) -> orc11::RunOutcome<(Vec<i64>, compass::Graph<DequeEvent>)> {
+fn run_forkjoin(
+    strategy: Box<dyn Strategy>,
+) -> orc11::RunOutcome<(Vec<i64>, compass::Graph<DequeEvent>)> {
     run_model(
         &Config::default(),
         strategy,
@@ -19,11 +21,8 @@ fn run_forkjoin(strategy: Box<dyn Strategy>) -> orc11::RunOutcome<(Vec<i64>, com
                 for i in 1..=4i64 {
                     d.push(ctx, Val::Int(i));
                 }
-                loop {
-                    match d.pop(ctx).0 {
-                        Some(v) => done.push(v.expect_int()),
-                        None => break,
-                    }
+                while let Some(v) = d.pop(ctx).0 {
+                    done.push(v.expect_int());
                 }
                 done
             }) as BodyFn<'_, _, Vec<i64>>,
