@@ -9,6 +9,7 @@
 
 use compass::deque_spec::check_deque_consistent;
 use compass::queue_spec::check_queue_consistent;
+use compass::Graph;
 use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_structures::buggy::RelaxedHwQueue;
@@ -16,11 +17,18 @@ use compass_structures::deque::ChaseLevDeque;
 use compass_structures::queue::ModelQueue;
 use orc11::Json;
 use orc11::{
-    pct_strategy, random_strategy, run_model, BodyFn, Config, Loc, Mode, Strategy, ThreadCtx, Val,
+    run_model, BodyFn, Config, Explorer, Loc, Mode, Model, RunOutcome, Strategy, ThreadCtx, Val,
+    WorkSpec,
 };
+use std::sync::atomic::{AtomicU64, Ordering};
 
-fn weak_deque_buggy(strategy: Box<dyn Strategy>) -> bool {
-    let out = run_model(
+/// PCT scheduling-decision horizon for these 3-thread subjects.
+const HORIZON: u64 = 40;
+
+fn weak_deque_program(
+    strategy: Box<dyn Strategy>,
+) -> RunOutcome<Graph<compass::deque_spec::DequeEvent>> {
+    run_model(
         &Config::default(),
         strategy,
         |ctx| ChaseLevDeque::new_weak_fences(ctx, 8),
@@ -39,12 +47,13 @@ fn weak_deque_buggy(strategy: Box<dyn Strategy>) -> bool {
             }),
         ],
         |_, d, _| d.obj().snapshot(),
-    );
-    matches!(out.result, Ok(g) if check_deque_consistent(&g).is_err())
+    )
 }
 
-fn weak_hw_buggy(strategy: Box<dyn Strategy>) -> bool {
-    let out = run_model(
+fn weak_hw_program(
+    strategy: Box<dyn Strategy>,
+) -> RunOutcome<Graph<compass::queue_spec::QueueEvent>> {
+    run_model(
         &Config::default(),
         strategy,
         |ctx| {
@@ -66,32 +75,60 @@ fn weak_hw_buggy(strategy: Box<dyn Strategy>) -> bool {
             }),
         ],
         |_, (q, _), _| q.obj().snapshot(),
-    );
-    matches!(out.result, Ok(g) if check_queue_consistent(&g).is_err())
+    )
+}
+
+/// Executions (out of `spec`) whose graph fails `buggy`'s check.
+fn count_bugs<M: Model>(model: &M, spec: &WorkSpec, buggy: impl Fn(&M::Out) -> bool + Sync) -> u64 {
+    let hits = AtomicU64::new(0);
+    Explorer::default().explore(spec, model, |_, out| {
+        if let Ok(g) = &out.result {
+            if buggy(g) {
+                hits.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    });
+    hits.load(Ordering::Relaxed)
+}
+
+/// Bug hits under uniform random and PCT d ∈ {2, 3, 5}, `n` executions
+/// each.
+fn rates<M: Model>(model: &M, n: u64, buggy: impl Fn(&M::Out) -> bool + Sync) -> [u64; 4] {
+    let pct = |depth| WorkSpec::Pct {
+        iters: n,
+        seed0: 0,
+        depth,
+        horizon: HORIZON,
+    };
+    [
+        count_bugs(model, &WorkSpec::Random { iters: n, seed0: 0 }, &buggy),
+        count_bugs(model, &pct(2), &buggy),
+        count_bugs(model, &pct(3), &buggy),
+        count_bugs(model, &pct(5), &buggy),
+    ]
 }
 
 fn main() {
+    let mut m = Metrics::new("e10_strategies");
     let n: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or(3000);
     println!("E10 — bug-finding rate by scheduling strategy, {n} executions each\n");
     let mut t = Table::new(&["bug", "uniform random", "PCT d=2", "PCT d=3", "PCT d=5"]);
-    let count = |f: fn(Box<dyn Strategy>) -> bool, mk: &dyn Fn(u64) -> Box<dyn Strategy>| {
-        (0..n).filter(|&s| f(mk(s))).count()
-    };
     let mut bugs = Json::obj();
-    for (name, f) in [
+    for (name, [random, pct2, pct3, pct5]) in [
         (
             "Chase-Lev double-take (weak fences)",
-            weak_deque_buggy as fn(Box<dyn Strategy>) -> bool,
+            rates(&weak_deque_program, n, |g| {
+                check_deque_consistent(g).is_err()
+            }),
         ),
-        ("Herlihy-Wing FIFO (relaxed tail)", weak_hw_buggy),
+        (
+            "Herlihy-Wing FIFO (relaxed tail)",
+            rates(&weak_hw_program, n, |g| check_queue_consistent(g).is_err()),
+        ),
     ] {
-        let random = count(f, &|s| random_strategy(s));
-        let pct2 = count(f, &|s| pct_strategy(s, 2, 40));
-        let pct3 = count(f, &|s| pct_strategy(s, 3, 40));
-        let pct5 = count(f, &|s| pct_strategy(s, 5, 40));
         t.row(&[
             name.to_string(),
             format!("{random}/{n}"),
@@ -115,7 +152,6 @@ fn main() {
          rate than\nuniform random scheduling (Burckhardt et al., ASPLOS 2010) — an \
          order of magnitude or more."
     );
-    let mut m = Metrics::new("e10_strategies");
     m.param("executions", n);
     m.set("bugs_found", bugs);
     m.write_or_warn();

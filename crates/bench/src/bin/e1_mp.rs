@@ -10,7 +10,7 @@ use compass_bench::metrics::Metrics;
 use compass_bench::table::Table;
 use compass_structures::clients::{check_mp, run_mp};
 use compass_structures::queue::{HwQueue, MsQueue};
-use orc11::{random_strategy, Json, Val};
+use orc11::{sync::Mutex, Explorer, Json, Val, WorkSpec};
 
 #[derive(Default)]
 struct Tally {
@@ -22,31 +22,40 @@ struct Tally {
 }
 
 fn tally<Q: compass_structures::queue::ModelQueue>(
-    make: impl Fn(&mut orc11::ThreadCtx) -> Q + Copy,
+    make: impl Fn(&mut orc11::ThreadCtx) -> Q + Copy + Send + Sync,
     release_flag: bool,
     seeds: u64,
 ) -> Tally {
-    let mut tl = Tally::default();
-    for seed in 0..seeds {
-        match run_mp(make, release_flag, random_strategy(seed)).result {
-            Err(_) => tl.errors += 1,
-            Ok(res) => {
-                match res.right_value {
-                    Some(Val::Int(41)) => tl.v41 += 1,
-                    Some(Val::Int(42)) => tl.v42 += 1,
-                    Some(_) => tl.violations += 1,
-                    None => tl.empty += 1,
-                }
-                if check_mp(&res, release_flag).is_err() {
-                    tl.violations += 1;
+    let tl = Mutex::new(Tally::default());
+    Explorer::default().explore(
+        &WorkSpec::Random {
+            iters: seeds,
+            seed0: 0,
+        },
+        &|strategy| run_mp(make, release_flag, strategy),
+        |_, out| {
+            let mut tl = tl.lock();
+            match &out.result {
+                Err(_) => tl.errors += 1,
+                Ok(res) => {
+                    match res.right_value {
+                        Some(Val::Int(41)) => tl.v41 += 1,
+                        Some(Val::Int(42)) => tl.v42 += 1,
+                        Some(_) => tl.violations += 1,
+                        None => tl.empty += 1,
+                    }
+                    if check_mp(res, release_flag).is_err() {
+                        tl.violations += 1;
+                    }
                 }
             }
-        }
-    }
-    tl
+        },
+    );
+    tl.into_inner()
 }
 
 fn main() {
+    let mut m = Metrics::new("e1_mp");
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -114,7 +123,6 @@ fn main() {
          ablation, `empty` appears but `violations`\nstays 0: the outcome is allowed \
          once the external synchronization is gone."
     );
-    let mut m = Metrics::new("e1_mp");
     m.param("seeds", seeds);
     m.set("configurations", rows);
     m.write_or_warn();

@@ -22,6 +22,7 @@ use compass_structures::queue::{HwQueue, LockQueue, MsQueue};
 use orc11::Json;
 
 fn main() {
+    let mut m = Metrics::new("e2_spec_matrix");
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -76,7 +77,6 @@ fn main() {
          commit points needs reordering the paper avoids\nby weakening to LAT_hb); \
          the buggy variants drop below 100% on LAT_hb / LAT_so."
     );
-    let mut m = Metrics::new("e2_spec_matrix");
     m.param("seeds", seeds);
     m.set("implementations", matrix);
     m.write_or_warn();

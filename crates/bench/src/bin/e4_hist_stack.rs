@@ -13,6 +13,7 @@ use compass_bench::table::Table;
 use compass_bench::workloads::treiber_hist_stats;
 
 fn main() {
+    let mut m = Metrics::new("e4_hist_stack");
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -41,7 +42,6 @@ fn main() {
          where an empty pop read a stale\nnull head — exactly the reordering \
          (`to ⊇ lhb`, not `to = mo`) the spec permits."
     );
-    let mut m = Metrics::new("e4_hist_stack");
     m.param("seeds", seeds);
     m.set("treiber", s.to_json());
     m.write_or_warn();

@@ -12,6 +12,7 @@ use compass_bench::workloads::elim_stats;
 use orc11::Json;
 
 fn main() {
+    let mut m = Metrics::new("e5_elimination");
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -52,7 +53,6 @@ fn main() {
          ⇒ more matches); each eliminated pair is\ntwo successful exchanges committed \
          atomically together."
     );
-    let mut m = Metrics::new("e5_elimination");
     m.param("seeds", seeds);
     m.set("by_patience", by_patience);
     m.write_or_warn();

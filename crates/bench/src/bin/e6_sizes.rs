@@ -38,6 +38,7 @@ fn repo_root() -> PathBuf {
 }
 
 fn main() {
+    let mut m = Metrics::new("e6_sizes");
     let root = repo_root();
     let f = |rel: &str| loc(&root.join(rel));
     println!("E6 — per-library and per-client sizes (the §1.2 table, in this artifact's terms)\n");
@@ -149,7 +150,6 @@ fn main() {
     }
     println!("\n{t2}");
 
-    let mut m = Metrics::new("e6_sizes");
     let to_obj = |entries: &[(&str, u64)]| {
         entries
             .iter()

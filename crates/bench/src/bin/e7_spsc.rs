@@ -12,6 +12,7 @@ use compass_structures::clients::{check_spsc, run_spsc};
 use orc11::{random_strategy, Json};
 
 fn main() {
+    let mut m = Metrics::new("e7_spsc");
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -61,7 +62,6 @@ fn main() {
     }
     println!("{t}");
     println!("\nExpected shape (paper §3.2): all failure columns are 0 at every size.");
-    let mut m = Metrics::new("e7_spsc");
     m.param("seeds", seeds);
     m.set("by_size", by_size);
     m.write_or_warn();

@@ -22,6 +22,7 @@ fn litmus_json(r: &LitmusReport) -> Json {
 }
 
 fn main() {
+    let mut m = Metrics::new("e8_litmus");
     let budget: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -94,7 +95,6 @@ fn main() {
     println!("{rmw}  ⇒ RMW atomicity ✓");
     add("rmw_atomicity", &rmw);
 
-    let mut m = Metrics::new("e8_litmus");
     m.param("budget", budget);
     m.set("tests", tests);
     m.write_or_warn();

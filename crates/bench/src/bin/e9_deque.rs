@@ -76,6 +76,7 @@ fn run(make: impl Fn(&mut ThreadCtx, u32) -> ChaseLevDeque + Sync, seeds: u64) -
 }
 
 fn main() {
+    let mut m = Metrics::new("e9_deque");
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -111,7 +112,6 @@ fn main() {
          (violations > 0) — the checker\ncatches the exact defect the SC fences exist \
          to prevent (Lê et al., PPoPP 2013)."
     );
-    let mut m = Metrics::new("e9_deque");
     m.param("seeds", seeds);
     m.set("sc_fences", strong.to_json());
     m.set("acq_rel_fences", weak.to_json());

@@ -7,41 +7,54 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 1,
+//!   "schema_version": 2,
 //!   "experiment": "<id>",
-//!   "params": { ... },   // run parameters (seed counts, budgets, ...)
-//!   "data": { ... }      // the experiment's measurements
+//!   "threads": 4,         // exploration worker threads for this run
+//!   "wall_ns": 12345678,  // wall-clock from Metrics::new() to to_json()
+//!   "params": { ... },    // run parameters (seed counts, budgets, ...)
+//!   "data": { ... }       // the experiment's measurements
 //! }
 //! ```
 //!
-//! `params` and `data` are experiment-specific but always objects; every
-//! count is a JSON integer, every ratio a JSON float (the in-tree emitter
-//! guarantees floats stay float-shaped — see [`orc11::Json`]).
-//! `scripts/run_experiments.sh` collects the per-experiment files into
-//! `experiment-results/summary.json`.
+//! Schema v2 adds `threads` (the resolved exploration worker count — see
+//! [`orc11::default_threads`] — so `BENCH_*` trajectories can attribute
+//! throughput to parallelism) and `wall_ns` (wall-clock nanoseconds from
+//! [`Metrics::new`] to serialization, the denominator of any speedup
+//! claim). `params` and `data` are experiment-specific but always
+//! objects; every count is a JSON integer, every ratio a JSON float (the
+//! in-tree emitter guarantees floats stay float-shaped — see
+//! [`orc11::Json`]). `scripts/run_experiments.sh` collects the
+//! per-experiment files into `experiment-results/summary.json`.
 
 use std::io;
 use std::path::PathBuf;
+use std::time::Instant;
 
 use orc11::Json;
 
 /// The metrics schema version emitted by this crate.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Builder for one experiment's metrics file.
 #[derive(Clone, Debug)]
 pub struct Metrics {
     id: String,
+    threads: u64,
+    start: Instant,
     params: Json,
     data: Json,
 }
 
 impl Metrics {
     /// Starts metrics for the experiment `id` (the file stem, e.g.
-    /// `"e2_spec_matrix"`).
+    /// `"e2_spec_matrix"`). The wall clock starts here, and the
+    /// `threads` field is resolved here (`COMPASS_THREADS` / available
+    /// parallelism), so construct this before the measured work.
     pub fn new(id: &str) -> Self {
         Metrics {
             id: id.to_string(),
+            threads: orc11::default_threads() as u64,
+            start: Instant::now(),
             params: Json::obj(),
             data: Json::obj(),
         }
@@ -64,6 +77,8 @@ impl Metrics {
         Json::obj()
             .set("schema_version", SCHEMA_VERSION)
             .set("experiment", self.id.as_str())
+            .set("threads", self.threads)
+            .set("wall_ns", self.start.elapsed().as_nanos() as u64)
             .set("params", self.params.clone())
             .set("data", self.data.clone())
     }
@@ -112,8 +127,11 @@ mod tests {
         m.set("consistent", 100u64);
         m.set("rate", 1.0f64);
         let j = m.to_json();
-        assert_eq!(j.get("schema_version"), Some(&Json::Int(1)));
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(2)));
         assert_eq!(j.get("experiment"), Some(&Json::Str("e0_test".into())));
+        // The environment-dependent fields exist and are sane.
+        assert!(matches!(j.get("threads"), Some(&Json::Int(n)) if n >= 1));
+        assert!(matches!(j.get("wall_ns"), Some(&Json::Int(_))));
         assert_eq!(
             j.get("params").and_then(|p| p.get("seeds")),
             Some(&Json::Int(100))
@@ -136,7 +154,7 @@ mod tests {
         let path = dir.join("e0_write_test.json");
         std::fs::write(&path, m.to_json().render_pretty()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("{\n  \"schema_version\": 1,\n"));
+        assert!(text.starts_with("{\n  \"schema_version\": 2,\n"));
         assert!(text.ends_with("\n"));
         std::fs::remove_dir_all(&dir).unwrap();
     }

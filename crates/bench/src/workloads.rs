@@ -13,7 +13,18 @@ use compass::stack_spec::check_stack_consistent;
 use compass_structures::deque::ChaseLevDeque;
 use compass_structures::queue::ModelQueue;
 use compass_structures::stack::{ElimStack, ModelStack, TreiberStack};
-use orc11::{random_strategy, run_model, BodyFn, Config, ThreadCtx, Val};
+use orc11::{run_model, sync::Mutex, BodyFn, Config, Explorer, ThreadCtx, Val, WorkSpec};
+
+/// The engine work description for a `seeds` range: one random-strategy
+/// execution per seed, on however many workers the environment asks for
+/// (`COMPASS_THREADS`; the per-spec tallies below are merge-order
+/// independent, so the counts match a serial run exactly).
+fn random_over(seeds: std::ops::Range<u64>) -> WorkSpec {
+    WorkSpec::Random {
+        iters: seeds.end.saturating_sub(seeds.start),
+        seed0: seeds.start,
+    }
+}
 
 /// Per-spec-style satisfaction counts for a queue implementation.
 #[derive(Clone, Debug, Default)]
@@ -68,55 +79,61 @@ impl QueueSpecStats {
 /// 2 dequeue attempts) over `seeds` executions of `make`'s queue and
 /// tallies spec satisfaction.
 pub fn queue_spec_stats<Q: ModelQueue>(
-    make: impl Fn(&mut ThreadCtx) -> Q,
+    make: impl Fn(&mut ThreadCtx) -> Q + Send + Sync,
     seeds: std::ops::Range<u64>,
 ) -> QueueSpecStats {
-    let mut stats = QueueSpecStats::default();
-    for seed in seeds {
-        stats.runs += 1;
-        let out = run_model(
-            &Config::default(),
-            random_strategy(seed),
-            |ctx| make(ctx),
-            vec![
-                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
-                    q.enqueue(ctx, Val::Int(10));
-                    q.enqueue(ctx, Val::Int(11));
-                }) as BodyFn<'_, _, ()>,
-                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
-                    q.enqueue(ctx, Val::Int(20));
-                    q.enqueue(ctx, Val::Int(21));
-                }),
-                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
-                    q.try_dequeue(ctx);
-                    q.try_dequeue(ctx);
-                }),
-                Box::new(|ctx: &mut ThreadCtx, q: &Q| {
-                    q.try_dequeue(ctx);
-                    q.try_dequeue(ctx);
-                }),
-            ],
-            |_, q, _| q.obj().snapshot(),
-        );
-        match out.result {
-            Err(_) => stats.model_errors += 1,
-            Ok(g) => {
-                if check_queue_consistent(&g).is_ok() {
-                    stats.lat_hb += 1;
-                }
-                if queue_so_lhb(&g).is_ok() {
-                    stats.lat_so += 1;
-                }
-                if commit_order_is_linearization(&g, &QueueInterp) {
-                    stats.lat_abs += 1;
-                }
-                if find_linearization(&g, &QueueInterp, &[]).is_some() {
-                    stats.lat_hist += 1;
+    let stats = Mutex::new(QueueSpecStats::default());
+    Explorer::default().explore(
+        &random_over(seeds),
+        &|strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| make(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                        q.enqueue(ctx, Val::Int(10));
+                        q.enqueue(ctx, Val::Int(11));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                        q.enqueue(ctx, Val::Int(20));
+                        q.enqueue(ctx, Val::Int(21));
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                        q.try_dequeue(ctx);
+                        q.try_dequeue(ctx);
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, q: &Q| {
+                        q.try_dequeue(ctx);
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, q, _| q.obj().snapshot(),
+            )
+        },
+        |_, out| {
+            let mut stats = stats.lock();
+            stats.runs += 1;
+            match &out.result {
+                Err(_) => stats.model_errors += 1,
+                Ok(g) => {
+                    if check_queue_consistent(g).is_ok() {
+                        stats.lat_hb += 1;
+                    }
+                    if queue_so_lhb(g).is_ok() {
+                        stats.lat_so += 1;
+                    }
+                    if commit_order_is_linearization(g, &QueueInterp) {
+                        stats.lat_abs += 1;
+                    }
+                    if find_linearization(g, &QueueInterp, &[]).is_some() {
+                        stats.lat_hist += 1;
+                    }
                 }
             }
-        }
-    }
-    stats
+        },
+    );
+    stats.into_inner()
 }
 
 /// Per-run statistics for the Treiber `LAT_hb^hist` experiment (E4).
@@ -158,53 +175,59 @@ pub fn treiber_hist_stats(seeds: std::ops::Range<u64>) -> StackHistStats {
 
 /// As [`treiber_hist_stats`] for any [`ModelStack`].
 pub fn stack_hist_stats<S: ModelStack>(
-    make: impl Fn(&mut ThreadCtx) -> S,
+    make: impl Fn(&mut ThreadCtx) -> S + Send + Sync,
     seeds: std::ops::Range<u64>,
 ) -> StackHistStats {
-    let mut stats = StackHistStats::default();
-    for seed in seeds {
-        stats.runs += 1;
-        let out = run_model(
-            &Config::default(),
-            random_strategy(seed),
-            |ctx| make(ctx),
-            vec![
-                Box::new(|ctx: &mut ThreadCtx, s: &S| {
-                    s.push(ctx, Val::Int(10));
-                    s.push(ctx, Val::Int(11));
-                }) as BodyFn<'_, _, ()>,
-                Box::new(|ctx: &mut ThreadCtx, s: &S| {
-                    s.push(ctx, Val::Int(20));
-                    s.pop(ctx);
-                }),
-                Box::new(|ctx: &mut ThreadCtx, s: &S| {
-                    s.pop(ctx);
-                    s.pop(ctx);
-                }),
-            ],
-            |_, s, _| s.obj().snapshot(),
-        );
-        match out.result {
-            Err(_) => stats.model_errors += 1,
-            Ok(g) => {
-                use compass::stack_spec::StackEvent;
-                if check_stack_consistent(&g).is_ok() {
-                    stats.consistent += 1;
-                }
-                let order = compass::abs::commit_order(&g);
-                if compass::history::validate_linearization(&g, &StackInterp, &order).is_ok() {
-                    stats.commit_order_witness += 1;
-                }
-                if find_linearization(&g, &StackInterp, &[]).is_some() {
-                    stats.hist_ok += 1;
-                }
-                if g.iter().any(|(_, e)| e.ty == StackEvent::EmpPop) {
-                    stats.with_emp_pops += 1;
+    let stats = Mutex::new(StackHistStats::default());
+    Explorer::default().explore(
+        &random_over(seeds),
+        &|strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| make(ctx),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, s: &S| {
+                        s.push(ctx, Val::Int(10));
+                        s.push(ctx, Val::Int(11));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, s: &S| {
+                        s.push(ctx, Val::Int(20));
+                        s.pop(ctx);
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, s: &S| {
+                        s.pop(ctx);
+                        s.pop(ctx);
+                    }),
+                ],
+                |_, s, _| s.obj().snapshot(),
+            )
+        },
+        |_, out| {
+            let mut stats = stats.lock();
+            stats.runs += 1;
+            match &out.result {
+                Err(_) => stats.model_errors += 1,
+                Ok(g) => {
+                    use compass::stack_spec::StackEvent;
+                    if check_stack_consistent(g).is_ok() {
+                        stats.consistent += 1;
+                    }
+                    let order = compass::abs::commit_order(g);
+                    if compass::history::validate_linearization(g, &StackInterp, &order).is_ok() {
+                        stats.commit_order_witness += 1;
+                    }
+                    if find_linearization(g, &StackInterp, &[]).is_some() {
+                        stats.hist_ok += 1;
+                    }
+                    if g.iter().any(|(_, e)| e.ty == StackEvent::EmpPop) {
+                        stats.with_emp_pops += 1;
+                    }
                 }
             }
-        }
-    }
-    stats
+        },
+    );
+    stats.into_inner()
 }
 
 /// Per-run statistics for the elimination-stack experiment (E5).
@@ -246,56 +269,62 @@ impl ElimStats {
 /// Runs the mixed push/pop workload over an [`ElimStack`] and tallies
 /// compositional consistency.
 pub fn elim_stats(seeds: std::ops::Range<u64>, patience: u32) -> ElimStats {
-    let mut stats = ElimStats::default();
-    for seed in seeds {
-        stats.runs += 1;
-        let out = run_model(
-            &Config::default(),
-            random_strategy(seed),
-            |ctx| ElimStack::new(ctx, patience),
-            vec![
-                Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
-                    s.push(ctx, Val::Int(10));
-                    s.push(ctx, Val::Int(11));
-                }) as BodyFn<'_, _, ()>,
-                Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
-                    s.pop(ctx);
-                    s.pop(ctx);
-                }),
-                Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
-                    s.push(ctx, Val::Int(30));
-                    s.pop(ctx);
-                }),
-            ],
-            |_, s, _| {
-                (
-                    s.obj().snapshot(),
-                    s.base_obj().snapshot(),
-                    s.exchanger_obj().snapshot(),
-                )
-            },
-        );
-        match out.result {
-            Err(_) => stats.model_errors += 1,
-            Ok((es, base, ex)) => {
-                if check_stack_consistent(&es).is_ok() {
-                    stats.es_consistent += 1;
+    let stats = Mutex::new(ElimStats::default());
+    Explorer::default().explore(
+        &random_over(seeds),
+        &|strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| ElimStack::new(ctx, patience),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
+                        s.push(ctx, Val::Int(10));
+                        s.push(ctx, Val::Int(11));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
+                        s.pop(ctx);
+                        s.pop(ctx);
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, s: &ElimStack| {
+                        s.push(ctx, Val::Int(30));
+                        s.pop(ctx);
+                    }),
+                ],
+                |_, s, _| {
+                    (
+                        s.obj().snapshot(),
+                        s.base_obj().snapshot(),
+                        s.exchanger_obj().snapshot(),
+                    )
+                },
+            )
+        },
+        |_, out| {
+            let mut stats = stats.lock();
+            stats.runs += 1;
+            match &out.result {
+                Err(_) => stats.model_errors += 1,
+                Ok((es, base, ex)) => {
+                    if check_stack_consistent(es).is_ok() {
+                        stats.es_consistent += 1;
+                    }
+                    if find_linearization(es, &StackInterp, &[]).is_some() {
+                        stats.es_hist_ok += 1;
+                    }
+                    if check_stack_consistent(base).is_ok() {
+                        stats.base_consistent += 1;
+                    }
+                    if check_exchanger_consistent(ex).is_ok() {
+                        stats.ex_consistent += 1;
+                    }
+                    stats.eliminations += (es.len() - base.len()) as u64 / 2;
+                    stats.exchanges += ex.iter().filter(|(_, e)| e.ty.succeeded()).count() as u64;
                 }
-                if find_linearization(&es, &StackInterp, &[]).is_some() {
-                    stats.es_hist_ok += 1;
-                }
-                if check_stack_consistent(&base).is_ok() {
-                    stats.base_consistent += 1;
-                }
-                if check_exchanger_consistent(&ex).is_ok() {
-                    stats.ex_consistent += 1;
-                }
-                stats.eliminations += (es.len() - base.len()) as u64 / 2;
-                stats.exchanges += ex.iter().filter(|(_, e)| e.ty.succeeded()).count() as u64;
             }
-        }
-    }
-    stats
+        },
+    );
+    stats.into_inner()
 }
 
 /// Per-run statistics for the Chase-Lev deque (E9/P3).
@@ -326,42 +355,48 @@ impl DequeStats {
 /// [`ChaseLevDeque`] and tallies consistency.
 pub fn deque_stats(seeds: std::ops::Range<u64>) -> DequeStats {
     use compass::deque_spec::{check_deque_consistent, mutator_subgraph, DequeInterp};
-    let mut stats = DequeStats::default();
-    for seed in seeds {
-        stats.runs += 1;
-        let out = run_model(
-            &Config::default(),
-            random_strategy(seed),
-            |ctx| ChaseLevDeque::new(ctx, 8),
-            vec![
-                Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
-                    d.push(ctx, Val::Int(1));
-                    d.push(ctx, Val::Int(2));
-                    d.pop(ctx);
-                    d.pop(ctx);
-                }) as BodyFn<'_, _, ()>,
-                Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
-                    d.steal(ctx);
-                }),
-                Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
-                    d.steal(ctx);
-                }),
-            ],
-            |_, d, _| d.obj().snapshot(),
-        );
-        match out.result {
-            Err(_) => stats.model_errors += 1,
-            Ok(g) => {
-                if check_deque_consistent(&g).is_ok() {
-                    stats.consistent += 1;
-                }
-                if find_linearization(&mutator_subgraph(&g), &DequeInterp, &[]).is_some() {
-                    stats.hist_ok += 1;
+    let stats = Mutex::new(DequeStats::default());
+    Explorer::default().explore(
+        &random_over(seeds),
+        &|strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                |ctx| ChaseLevDeque::new(ctx, 8),
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                        d.push(ctx, Val::Int(1));
+                        d.push(ctx, Val::Int(2));
+                        d.pop(ctx);
+                        d.pop(ctx);
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                        d.steal(ctx);
+                    }),
+                    Box::new(|ctx: &mut ThreadCtx, d: &ChaseLevDeque| {
+                        d.steal(ctx);
+                    }),
+                ],
+                |_, d, _| d.obj().snapshot(),
+            )
+        },
+        |_, out| {
+            let mut stats = stats.lock();
+            stats.runs += 1;
+            match &out.result {
+                Err(_) => stats.model_errors += 1,
+                Ok(g) => {
+                    if check_deque_consistent(g).is_ok() {
+                        stats.consistent += 1;
+                    }
+                    if find_linearization(&mutator_subgraph(g), &DequeInterp, &[]).is_some() {
+                        stats.hist_ok += 1;
+                    }
                 }
             }
-        }
-    }
-    stats
+        },
+    );
+    stats.into_inner()
 }
 
 #[cfg(test)]

@@ -58,7 +58,7 @@ fn saved_bundle_replays_deterministically() {
 
     let opts = CheckOptions {
         bundle_dir: Some(root.clone()),
-        progress: false,
+        ..CheckOptions::default()
     };
     let report = check_executions_with(
         &Exploration::Pct {
@@ -106,6 +106,52 @@ fn saved_bundle_replays_deterministically() {
     // determinism is a property of the trace, not the run.
     let replayed2 = bundle::replay(&trace, program);
     assert_eq!(render_ops(&replayed2.ops), saved_oplog);
+
+    fs::remove_dir_all(&root).unwrap();
+}
+
+#[test]
+fn parallel_capture_matches_serial_and_replays() {
+    // A violation found by a parallel worker must be captured as the
+    // same bundle a serial run writes (the run's *first* failure in
+    // serial exploration order), and must replay with the plain serial
+    // replay machinery.
+    let root = temp_root().join("parallel");
+    let _ = fs::remove_dir_all(&root);
+    let exploration = Exploration::Pct {
+        iters: 600,
+        seed0: 0,
+        depth: 3,
+    };
+    let run = |threads: usize, sub: &str| {
+        let opts = CheckOptions {
+            bundle_dir: Some(root.join(sub)),
+            threads,
+            ..CheckOptions::default()
+        };
+        check_executions_with(&exploration, &opts, program, check_queue_consistent)
+            .bundle
+            .expect("a bundle is written for the first violation")
+    };
+    let serial_dir = run(1, "serial");
+    let parallel_dir = run(4, "parallel");
+
+    // Byte-identical capture, thread count notwithstanding.
+    for file in ["bundle.json", "trace.txt", "report.txt", "oplog.txt"] {
+        assert_eq!(
+            fs::read_to_string(serial_dir.join(file)).unwrap(),
+            fs::read_to_string(parallel_dir.join(file)).unwrap(),
+            "{file} must not depend on the worker count"
+        );
+    }
+
+    // And the parallel capture replays to the same violation.
+    let trace = bundle::load_trace(&parallel_dir.join("trace.txt")).unwrap();
+    let replayed = bundle::replay(&trace, program);
+    let g = replayed.result.as_ref().expect("replay must not abort");
+    let v = check_queue_consistent(g).expect_err("replay must trip the check");
+    let summary = fs::read_to_string(parallel_dir.join("bundle.json")).unwrap();
+    assert!(summary.contains(&format!("\"rule\": \"{}\"", v.rule)));
 
     fs::remove_dir_all(&root).unwrap();
 }

@@ -15,9 +15,12 @@
 //! recorded [`Choice`] sequence, so [`replay`] (a [`orc11::replay_strategy`]
 //! over the saved trace) re-executes the *exact* interleaving — same
 //! instruction log, same graph, same violation. `compass::checker`
-//! writes a bundle for the first failure of a run when
+//! writes a bundle for the first failure of a run (in serial exploration
+//! order, whatever the worker-thread count — the failing origin is
+//! re-executed once the exploration finishes) when
 //! [`crate::checker::CheckOptions::bundle_dir`] is set (env:
-//! `COMPASS_BUNDLE_DIR`).
+//! `COMPASS_BUNDLE_DIR`). A bundle found by any parallel worker replays
+//! with the same serial [`replay`] below.
 //!
 //! ## `trace.txt` format (version 1)
 //!
@@ -25,10 +28,13 @@
 //! `<kind> <chosen> <arity>` where `<kind>` is `T` (thread choice) or `R`
 //! (read choice), e.g. `T 1 3`.
 //!
-//! ## `bundle.json` schema (version 1)
+//! ## `bundle.json` schema (version 2)
 //!
 //! `{schema_version, kind: "violation"|"model-error", rule, message,
 //! events: [..], origin: {mode, ...}, trace_len, steps, ops_recorded}`.
+//! (v2 drops the `index` field from DFS origins: the forced prefix alone
+//! identifies the path, and a serial position is meaningless under
+//! parallel exploration.)
 
 use std::fs;
 use std::io::{self};
@@ -151,7 +157,7 @@ fn summary_json(
     ops_recorded: bool,
 ) -> Json {
     Json::obj()
-        .set("schema_version", 1u64)
+        .set("schema_version", 2u64)
         .set("kind", kind)
         .set("rule", rule)
         .set("message", message)

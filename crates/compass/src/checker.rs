@@ -1,19 +1,26 @@
 //! A small harness for checking a graph-producing model program against a
 //! consistency predicate over many explored executions.
 //!
-//! Wraps [`orc11`]'s exploration with per-clause violation accounting and
-//! run telemetry, so tests and experiments can say "run this workload
-//! under these strategies and tell me which clauses ever failed — and
-//! where the time and the schedule coverage went".
+//! Wraps [`orc11`]'s exploration engine with per-clause violation
+//! accounting and run telemetry, so tests and experiments can say "run
+//! this workload under these strategies and tell me which clauses ever
+//! failed — and where the time and the schedule coverage went". The
+//! engine is the same parallel one behind [`orc11::Explorer`]: the
+//! program and predicate run on [`CheckOptions::threads`] workers, and
+//! the merged report is byte-identical to a single-threaded run (see
+//! `EXPERIMENTS.md`, "Parallel exploration", for the guarantee's scope —
+//! wall-clock fields like [`CheckReport::check_ns`] excepted).
 
 use std::collections::BTreeMap;
 use std::fmt;
+use std::marker::PhantomData;
 use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use orc11::{
-    dfs_strategy, next_dfs_prefix, pct_strategy, random_strategy, Coverage, ExecStats, Json,
-    OpRecord, RunOutcome, StepHistogram, Strategy,
+    dfs_strategy, pct_strategy, random_strategy, Coverage, ExecStats, Explorer, Json, OpRecord,
+    RunOutcome, Sink, StepHistogram, Strategy, StrategyDesc, WorkSpec,
 };
 
 use crate::bundle;
@@ -28,6 +35,10 @@ pub const PCT_HORIZON: u64 = 64;
 /// The pseudo-rule under which [`CheckReport::check_ns_by_rule`] files
 /// time spent on checks that passed.
 pub const PASS_RULE: &str = "(consistent)";
+
+/// Cap on [`CheckReport::samples`]: the first few violations (in serial
+/// exploration order) are kept verbatim.
+const SAMPLE_CAP: usize = 8;
 
 /// How to explore the schedule space.
 #[derive(Clone, Debug)]
@@ -55,10 +66,35 @@ pub enum Exploration {
     },
 }
 
+impl Exploration {
+    /// The engine-level work description this exploration denotes.
+    pub fn work_spec(&self) -> WorkSpec {
+        match *self {
+            Exploration::Random { iters, seed0 } => WorkSpec::Random { iters, seed0 },
+            Exploration::Pct {
+                iters,
+                seed0,
+                depth,
+            } => WorkSpec::Pct {
+                iters,
+                seed0,
+                depth,
+                horizon: PCT_HORIZON,
+            },
+            Exploration::Dfs { budget } => WorkSpec::Dfs { budget },
+        }
+    }
+}
+
 /// Which strategy instance produced one particular execution — enough to
 /// re-create that execution's strategy exactly, whatever the exploration
 /// mode ([`ExecOrigin::strategy`]).
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Origins order by their serial exploration order (seed order for
+/// random/PCT, lexicographic prefix order for DFS), which is how
+/// "first failure" stays well defined — and thread-count independent —
+/// under parallel exploration.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
 pub enum ExecOrigin {
     /// Seeded uniform-random execution.
     Random {
@@ -75,21 +111,33 @@ pub enum ExecOrigin {
     /// DFS execution: the forced prefix identifies the path (beyond it
     /// the DFS strategy always picks alternative 0).
     Dfs {
-        /// Position in DFS order (0-based).
-        index: u64,
         /// The forced choice prefix.
         prefix: Vec<u32>,
     },
 }
 
 impl ExecOrigin {
+    /// The origin denoted by an engine strategy descriptor.
+    pub fn from_desc(desc: &StrategyDesc) -> Self {
+        match desc {
+            StrategyDesc::Random { seed } => ExecOrigin::Random { seed: *seed },
+            StrategyDesc::Pct { seed, depth, .. } => ExecOrigin::Pct {
+                seed: *seed,
+                depth: *depth,
+            },
+            StrategyDesc::Dfs { prefix } => ExecOrigin::Dfs {
+                prefix: prefix.clone(),
+            },
+        }
+    }
+
     /// Re-creates the strategy that produced this execution; running the
     /// same program under it reproduces the execution exactly.
     pub fn strategy(&self) -> Box<dyn Strategy> {
         match self {
             ExecOrigin::Random { seed } => random_strategy(*seed),
             ExecOrigin::Pct { seed, depth } => pct_strategy(*seed, *depth, PCT_HORIZON),
-            ExecOrigin::Dfs { prefix, .. } => dfs_strategy(prefix.clone()),
+            ExecOrigin::Dfs { prefix } => dfs_strategy(prefix.clone()),
         }
     }
 
@@ -101,10 +149,9 @@ impl ExecOrigin {
                 .set("mode", "pct")
                 .set("seed", *seed)
                 .set("depth", *depth),
-            ExecOrigin::Dfs { index, prefix } => Json::obj()
-                .set("mode", "dfs")
-                .set("index", *index)
-                .set("prefix", prefix.clone()),
+            ExecOrigin::Dfs { prefix } => {
+                Json::obj().set("mode", "dfs").set("prefix", prefix.clone())
+            }
         }
     }
 }
@@ -114,9 +161,7 @@ impl fmt::Display for ExecOrigin {
         match self {
             ExecOrigin::Random { seed } => write!(f, "random seed {seed}"),
             ExecOrigin::Pct { seed, depth } => write!(f, "pct seed {seed} depth {depth}"),
-            ExecOrigin::Dfs { index, prefix } => {
-                write!(f, "dfs #{index} prefix {prefix:?}")
-            }
+            ExecOrigin::Dfs { prefix } => write!(f, "dfs prefix {prefix:?}"),
         }
     }
 }
@@ -149,25 +194,46 @@ impl<T: fmt::Debug> CheckTarget for Graph<T> {
 
 /// Knobs of [`check_executions_with`] that are orthogonal to the
 /// exploration itself.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug)]
 pub struct CheckOptions {
     /// Write a replay bundle ([`crate::bundle`]) for the run's first
-    /// violation or model error into a fresh subdirectory of this
-    /// directory.
+    /// failure (violation or model error, in serial exploration order)
+    /// into a fresh subdirectory of this directory.
     pub bundle_dir: Option<PathBuf>,
     /// Print a throttled progress line (execs/sec, ETA) to stderr.
     pub progress: bool,
+    /// Worker threads; `0` (the default) means auto: `COMPASS_THREADS`
+    /// if set, else the host's available parallelism (capped — see
+    /// [`orc11::default_threads`]).
+    pub threads: usize,
+    /// Cap on the model errors the underlying exploration keeps verbatim
+    /// (the counts stay exact); default [`orc11::DEFAULT_MAX_ERRORS`].
+    pub max_errors: usize,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions {
+            bundle_dir: None,
+            progress: false,
+            threads: 0,
+            max_errors: orc11::DEFAULT_MAX_ERRORS,
+        }
+    }
 }
 
 impl CheckOptions {
     /// Reads the options from the environment: `COMPASS_BUNDLE_DIR` (a
-    /// directory path) and `COMPASS_PROGRESS` (any value but `0`).
-    /// [`check_executions`] uses this, so both toggles work on every
+    /// directory path), `COMPASS_PROGRESS` (any value but `0`), and
+    /// `COMPASS_THREADS` (worker count; resolved by the engine, since
+    /// `threads == 0` means exactly "consult the environment").
+    /// [`check_executions`] uses this, so all three toggles work on every
     /// existing test and experiment binary without code changes.
     pub fn from_env() -> Self {
         CheckOptions {
             bundle_dir: std::env::var_os("COMPASS_BUNDLE_DIR").map(PathBuf::from),
             progress: std::env::var_os("COMPASS_PROGRESS").is_some_and(|v| v != *"0"),
+            ..CheckOptions::default()
         }
     }
 }
@@ -181,8 +247,8 @@ pub struct CheckReport {
     pub consistent: u64,
     /// Violation counts per clause (`Violation::rule`).
     pub violations: BTreeMap<&'static str, u64>,
-    /// First few concrete violations with the strategy that found each,
-    /// for diagnostics and replay.
+    /// First few concrete violations (in serial exploration order) with
+    /// the strategy that found each, for diagnostics and replay.
     pub samples: Vec<(ExecOrigin, Violation)>,
     /// Executions that aborted in the model (races, panics, ...).
     pub model_errors: u64,
@@ -198,7 +264,8 @@ pub struct CheckReport {
     pub coverage: Coverage,
     /// Linearization-search counters accumulated inside the checks.
     pub search: SearchStats,
-    /// Wall-clock nanoseconds spent inside the check predicate.
+    /// Wall-clock nanoseconds spent inside the check predicate (summed
+    /// across workers, so not comparable across thread counts).
     pub check_ns: u64,
     /// [`CheckReport::check_ns`] split by outcome: the violated clause,
     /// or [`PASS_RULE`] for checks that passed.
@@ -299,12 +366,15 @@ impl fmt::Display for CheckReport {
     }
 }
 
-/// Throttled stderr progress line ([`CheckOptions::progress`]).
+/// Throttled stderr progress line ([`CheckOptions::progress`]), shared
+/// by all workers: a counter everyone bumps, and a printer only one
+/// worker at a time enters (via `try_lock`, so nobody ever waits on it).
 struct Progress {
     enabled: bool,
     total: u64,
     start: Instant,
-    last: Instant,
+    done: AtomicU64,
+    last: std::sync::Mutex<Instant>,
 }
 
 impl Progress {
@@ -314,19 +384,24 @@ impl Progress {
             enabled,
             total,
             start: now,
-            last: now,
+            done: AtomicU64::new(0),
+            last: std::sync::Mutex::new(now),
         }
     }
 
-    fn tick(&mut self, done: u64) {
+    fn tick(&self) {
         if !self.enabled {
             return;
         }
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        let Ok(mut last) = self.last.try_lock() else {
+            return;
+        };
         let now = Instant::now();
-        if now.duration_since(self.last).as_millis() < 200 {
+        if now.duration_since(*last).as_millis() < 200 {
             return;
         }
-        self.last = now;
+        *last = now;
         let rate = done as f64 / now.duration_since(self.start).as_secs_f64().max(1e-9);
         if self.total > done {
             let eta = (self.total - done) as f64 / rate.max(1e-9);
@@ -339,15 +414,129 @@ impl Progress {
         }
     }
 
-    fn finish(&self, done: u64) {
+    fn finish(&self) {
         if !self.enabled {
             return;
         }
+        let done = self.done.load(Ordering::Relaxed);
         let secs = self.start.elapsed().as_secs_f64();
         eprintln!(
             "\r{done} execs in {secs:.2}s ({:.0}/s)            ",
             done as f64 / secs.max(1e-9)
         );
+    }
+}
+
+/// One worker's share of a [`CheckReport`]: everything the base
+/// [`orc11::ExploreReport`] does not already account. Each worker gets
+/// its own (no locking in the hot path); [`CheckerSink::merge_into`]
+/// folds them — every piece commutatively, so the merged report is
+/// thread-count independent.
+struct CheckerSink<'a, G, C> {
+    check: &'a C,
+    progress: &'a Progress,
+    consistent: u64,
+    violations: BTreeMap<&'static str, u64>,
+    /// The `SAMPLE_CAP` smallest-origin violations this worker saw.
+    samples: Vec<(ExecOrigin, Violation)>,
+    graph_sizes: StepHistogram,
+    search: SearchStats,
+    check_ns: u64,
+    check_ns_by_rule: BTreeMap<&'static str, u64>,
+    /// Smallest-origin failure (violation *or* model error) this worker
+    /// saw; the global minimum is what a serial run fails on first.
+    first_failure: Option<ExecOrigin>,
+    _target: PhantomData<fn(&G)>,
+}
+
+impl<'a, G, C> CheckerSink<'a, G, C> {
+    fn new(check: &'a C, progress: &'a Progress) -> Self {
+        CheckerSink {
+            check,
+            progress,
+            consistent: 0,
+            violations: BTreeMap::new(),
+            samples: Vec::new(),
+            graph_sizes: StepHistogram::default(),
+            search: SearchStats::default(),
+            check_ns: 0,
+            check_ns_by_rule: BTreeMap::new(),
+            first_failure: None,
+            _target: PhantomData,
+        }
+    }
+
+    fn note_failure(&mut self, origin: ExecOrigin) {
+        match &self.first_failure {
+            Some(f) if *f <= origin => {}
+            _ => self.first_failure = Some(origin),
+        }
+    }
+
+    fn keep_sample(&mut self, origin: ExecOrigin, v: Violation) {
+        let pos = self.samples.partition_point(|(o, _)| *o < origin);
+        if pos < SAMPLE_CAP {
+            self.samples.insert(pos, (origin, v));
+            self.samples.truncate(SAMPLE_CAP);
+        }
+    }
+
+    fn merge_into(self, report: &mut CheckReport) {
+        report.consistent += self.consistent;
+        for (rule, n) in self.violations {
+            *report.violations.entry(rule).or_insert(0) += n;
+        }
+        for (origin, v) in self.samples {
+            let pos = report.samples.partition_point(|(o, _)| *o < origin);
+            if pos < SAMPLE_CAP {
+                report.samples.insert(pos, (origin, v));
+                report.samples.truncate(SAMPLE_CAP);
+            }
+        }
+        report.graph_sizes.merge(&self.graph_sizes);
+        report.search.merge(&self.search);
+        report.check_ns += self.check_ns;
+        for (rule, ns) in self.check_ns_by_rule {
+            *report.check_ns_by_rule.entry(rule).or_insert(0) += ns;
+        }
+    }
+}
+
+impl<G, C> Sink<G> for CheckerSink<'_, G, C>
+where
+    G: CheckTarget,
+    C: Fn(&G) -> Result<(), Violation>,
+{
+    fn on_outcome(&mut self, desc: &StrategyDesc, out: &RunOutcome<G>) {
+        match &out.result {
+            Err(_) => {
+                // The base ExploreReport counts and keeps the error; here
+                // it only competes for "first failure" (bundle capture).
+                self.note_failure(ExecOrigin::from_desc(desc));
+            }
+            Ok(g) => {
+                self.graph_sizes.record(g.event_count() as u64);
+                let t0 = Instant::now();
+                let result = (self.check)(g);
+                let dt = t0.elapsed().as_nanos() as u64;
+                self.check_ns += dt;
+                self.search.merge(&history::take_search_stats());
+                match result {
+                    Ok(()) => {
+                        *self.check_ns_by_rule.entry(PASS_RULE).or_insert(0) += dt;
+                        self.consistent += 1;
+                    }
+                    Err(v) => {
+                        *self.check_ns_by_rule.entry(v.rule).or_insert(0) += dt;
+                        *self.violations.entry(v.rule).or_insert(0) += 1;
+                        let origin = ExecOrigin::from_desc(desc);
+                        self.note_failure(origin.clone());
+                        self.keep_sample(origin, v);
+                    }
+                }
+            }
+        }
+        self.progress.tick();
     }
 }
 
@@ -358,8 +547,8 @@ impl Progress {
 /// them in code.
 pub fn check_executions<G: CheckTarget>(
     exploration: &Exploration,
-    program: impl FnMut(Box<dyn Strategy>) -> RunOutcome<G>,
-    check: impl FnMut(&G) -> Result<(), Violation>,
+    program: impl Fn(Box<dyn Strategy>) -> RunOutcome<G> + Send + Sync,
+    check: impl Fn(&G) -> Result<(), Violation> + Sync,
 ) -> CheckReport {
     check_executions_with(exploration, &CheckOptions::from_env(), program, check)
 }
@@ -368,124 +557,68 @@ pub fn check_executions<G: CheckTarget>(
 pub fn check_executions_with<G: CheckTarget>(
     exploration: &Exploration,
     opts: &CheckOptions,
-    mut program: impl FnMut(Box<dyn Strategy>) -> RunOutcome<G>,
-    mut check: impl FnMut(&G) -> Result<(), Violation>,
+    program: impl Fn(Box<dyn Strategy>) -> RunOutcome<G> + Send + Sync,
+    check: impl Fn(&G) -> Result<(), Violation> + Sync,
 ) -> CheckReport {
-    let mut report = CheckReport::default();
-    let total = match *exploration {
-        Exploration::Random { iters, .. } | Exploration::Pct { iters, .. } => iters,
-        Exploration::Dfs { budget } => budget,
-    };
-    let mut progress = Progress::new(opts.progress, total);
+    let spec = exploration.work_spec();
+    let progress = Progress::new(opts.progress, spec.total());
     // Discard search counters a previous caller on this thread left
-    // behind, so this report only sees its own checks.
+    // behind, so a serial (inline) run only sees its own checks.
     let _ = history::take_search_stats();
-    let mut record = |report: &mut CheckReport, origin: ExecOrigin, out: &RunOutcome<G>| {
-        report.execs += 1;
-        report.stats.merge(&out.stats);
-        report.steps_hist.record(out.steps);
-        report.coverage.record_trace(&out.trace);
-        match &out.result {
-            Err(e) => {
-                report.model_errors += 1;
-                if report.bundle.is_none() {
-                    if let Some(dir) = &opts.bundle_dir {
-                        match bundle::write_error_bundle(dir, e, out, &origin) {
-                            Ok(path) => report.bundle = Some(path),
-                            Err(err) => eprintln!("compass: cannot write replay bundle: {err}"),
-                        }
-                    }
-                }
-            }
-            Ok(g) => {
-                report.graph_sizes.record(g.event_count() as u64);
-                let t0 = Instant::now();
-                let result = check(g);
-                let dt = t0.elapsed().as_nanos() as u64;
-                report.check_ns += dt;
-                report.search.merge(&history::take_search_stats());
-                match result {
-                    Ok(()) => {
-                        *report.check_ns_by_rule.entry(PASS_RULE).or_insert(0) += dt;
-                        report.consistent += 1;
-                    }
-                    Err(v) => {
-                        *report.check_ns_by_rule.entry(v.rule).or_insert(0) += dt;
-                        *report.violations.entry(v.rule).or_insert(0) += 1;
-                        if report.bundle.is_none() {
-                            if let Some(dir) = &opts.bundle_dir {
-                                match bundle::write_bundle(dir, g, &v, out, &origin) {
-                                    Ok(path) => report.bundle = Some(path),
-                                    Err(err) => {
-                                        eprintln!("compass: cannot write replay bundle: {err}")
-                                    }
-                                }
-                            }
-                        }
-                        if report.samples.len() < 8 {
-                            report.samples.push((origin, v));
-                        }
-                    }
-                }
-            }
-        }
-        progress.tick(report.execs);
+    let explorer = Explorer {
+        threads: opts.threads,
+        max_errors: opts.max_errors,
     };
-    match *exploration {
-        Exploration::Random { iters, seed0 } => {
-            for i in 0..iters {
-                let out = program(random_strategy(seed0 + i));
-                record(&mut report, ExecOrigin::Random { seed: seed0 + i }, &out);
-            }
+    let (base, sinks) =
+        explorer.explore_with(&spec, &program, |_| CheckerSink::new(&check, &progress));
+    progress.finish();
+
+    let mut report = CheckReport {
+        execs: base.execs,
+        model_errors: base.error_count,
+        exhausted: base.exhausted,
+        stats: base.stats,
+        steps_hist: base.steps_hist,
+        coverage: base.coverage,
+        ..CheckReport::default()
+    };
+    let mut first_failure: Option<ExecOrigin> = None;
+    for sink in sinks {
+        match (&first_failure, &sink.first_failure) {
+            (Some(a), Some(b)) if a <= b => {}
+            (_, Some(b)) => first_failure = Some(b.clone()),
+            _ => {}
         }
-        Exploration::Pct {
-            iters,
-            seed0,
-            depth,
-        } => {
-            for i in 0..iters {
-                let out = program(pct_strategy(seed0 + i, depth, PCT_HORIZON));
-                record(
-                    &mut report,
-                    ExecOrigin::Pct {
-                        seed: seed0 + i,
-                        depth,
-                    },
-                    &out,
-                );
-            }
-        }
-        Exploration::Dfs { budget } => {
-            let mut prefix: Vec<u32> = Vec::new();
-            let mut n = 0u64;
-            while n < budget {
-                let out = program(dfs_strategy(prefix.clone()));
-                // New DFS-tree nodes: everything past the shared prefix
-                // (the last forced choice was freshly bumped, so only
-                // `prefix.len() - 1` decisions are shared with a
-                // previously visited path).
-                let shared = prefix.len().saturating_sub(1).min(out.trace.len());
-                report.coverage.dfs_nodes += (out.trace.len() - shared) as u64;
-                record(
-                    &mut report,
-                    ExecOrigin::Dfs {
-                        index: n,
-                        prefix: prefix.clone(),
-                    },
-                    &out,
-                );
-                n += 1;
-                match next_dfs_prefix(&out.trace) {
-                    Some(p) => prefix = p,
-                    None => {
-                        report.exhausted = true;
-                        break;
-                    }
-                }
-            }
-        }
+        sink.merge_into(&mut report);
     }
-    progress.finish(report.execs);
+
+    // Capture the replay bundle at the end, by re-running the earliest
+    // failure: origins are replayable by construction, this keeps the
+    // hot loop free of I/O, and "earliest" is well defined whatever the
+    // thread count.
+    if let (Some(dir), Some(origin)) = (&opts.bundle_dir, &first_failure) {
+        let out = program(origin.strategy());
+        let written = match &out.result {
+            Err(e) => bundle::write_error_bundle(dir, e, &out, origin).map(Some),
+            Ok(g) => match check(g) {
+                Err(v) => bundle::write_bundle(dir, g, &v, &out, origin).map(Some),
+                Ok(()) => {
+                    eprintln!(
+                        "compass: replay of first failure ({origin}) did not fail; \
+                         is the program or predicate nondeterministic?"
+                    );
+                    Ok(None)
+                }
+            },
+        };
+        match written {
+            Ok(path) => report.bundle = path,
+            Err(err) => eprintln!("compass: cannot write replay bundle: {err}"),
+        }
+        // The replay's search counters are a duplicate of already-merged
+        // work; keep them out of this thread's next report.
+        let _ = history::take_search_stats();
+    }
     report
 }
 
@@ -495,6 +628,7 @@ mod tests {
     use crate::queue_spec::{check_queue_consistent, QueueEvent};
     use crate::Graph;
     use orc11::{run_model, BodyFn, Config, Mode, Val};
+    use std::sync::atomic::AtomicBool;
 
     fn trivial_program(strategy: Box<dyn Strategy>) -> RunOutcome<Graph<QueueEvent>> {
         run_model(
@@ -541,7 +675,7 @@ mod tests {
 
     #[test]
     fn violations_are_tallied_per_rule() {
-        let mut flip = false;
+        let flip = AtomicBool::new(false);
         let report = check_executions(
             &Exploration::Pct {
                 iters: 6,
@@ -550,8 +684,7 @@ mod tests {
             },
             trivial_program,
             |_| {
-                flip = !flip;
-                if flip {
+                if !flip.fetch_xor(true, Ordering::Relaxed) {
                     Err(Violation::new("TEST-RULE", "synthetic", vec![]))
                 } else {
                     Ok(())
@@ -600,8 +733,8 @@ mod tests {
                 (Exploration::Pct { .. }, ExecOrigin::Pct { seed, depth }) => {
                     assert_eq!((*seed, *depth), (40, 2));
                 }
-                (Exploration::Dfs { .. }, ExecOrigin::Dfs { index, prefix }) => {
-                    assert_eq!(*index, 0);
+                (Exploration::Dfs { .. }, ExecOrigin::Dfs { prefix }) => {
+                    // The first sample in serial order is the DFS root.
                     assert!(prefix.is_empty());
                 }
                 (e, o) => panic!("origin {o:?} does not match exploration {e:?}"),
@@ -626,6 +759,35 @@ mod tests {
         let b = trivial_program(origin.strategy());
         assert_eq!(a.trace, b.trace);
         assert_eq!(a.steps, b.steps);
+    }
+
+    #[test]
+    fn parallel_report_json_matches_serial() {
+        // Wall-clock fields aside, thread count must not show in the
+        // report. The predicate violates on a deterministic function of
+        // the graph-free flip above, so use a per-execution-stable one.
+        for exploration in [
+            Exploration::Random {
+                iters: 40,
+                seed0: 0,
+            },
+            Exploration::Dfs { budget: 100 },
+        ] {
+            let run = |threads: usize| {
+                let opts = CheckOptions {
+                    threads,
+                    ..CheckOptions::default()
+                };
+                check_executions_with(&exploration, &opts, trivial_program, |g| {
+                    check_queue_consistent(g)
+                })
+                .to_json()
+                .set("check_ns", 0u64)
+                .set("check_ns_by_rule", Json::obj())
+                .render()
+            };
+            assert_eq!(run(1), run(4), "{exploration:?}");
+        }
     }
 
     #[test]

@@ -226,7 +226,9 @@ impl<T: Send> ElimStack<T> {
     /// Pops the top value: base stack first, elimination on contention.
     pub fn pop(&self) -> Option<T> {
         loop {
-            if let Ok(r) = self.base.try_pop() { return r }
+            if let Ok(r) = self.base.try_pop() {
+                return r;
+            }
             match self.slot().exchange(Offer::Pop, self.patience) {
                 Ok(Offer::Push(v)) => return Some(v),
                 Ok(Offer::Pop) | Err(_) => {}

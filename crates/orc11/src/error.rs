@@ -48,7 +48,7 @@ impl fmt::Display for RaceInfo {
 }
 
 /// Why a model execution did not complete normally.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ModelError {
     /// A data race between accesses where at least one is non-atomic
     /// (undefined behaviour under RC11; the model aborts the execution).

@@ -1,46 +1,89 @@
 //! Drivers for exploring a program's executions.
 //!
-//! Stateless model checking: a program is re-run many times, each time with
-//! a different [`Strategy`]. [`Explorer::random`] samples interleavings
-//! with seeded random strategies; [`Explorer::dfs`] enumerates the decision
-//! tree exhaustively (bounded by an execution budget) by backtracking over
-//! recorded choice traces.
+//! Stateless model checking: a [`Model`] is re-run many times, each time
+//! with a different [`crate::Strategy`]. [`Explorer::random`] samples
+//! interleavings with seeded random strategies, [`Explorer::pct`] uses
+//! PCT priority scheduling, and [`Explorer::dfs`] enumerates the
+//! decision tree exhaustively (bounded by an execution budget). All
+//! three are thin wrappers over one engine ([`Explorer::explore`]) that
+//! pulls [`StrategyDesc`]s from a shared [`crate::WorkSource`] — with
+//! [`Explorer::threads`] workers in parallel when asked (or by default,
+//! via `COMPASS_THREADS`), with a deterministic merged report.
 
 use std::fmt;
 
 use crate::error::ModelError;
 use crate::exec::RunOutcome;
-use crate::sched::{dfs_strategy, next_dfs_prefix, random_strategy, Strategy};
-use crate::stats::{Coverage, ExecStats, StepHistogram};
+use crate::model::Model;
+use crate::parallel::{self, Sink};
+use crate::work::{StrategyDesc, WorkSpec};
+
+/// Default cap on the number of [`ModelError`]s kept verbatim in an
+/// [`ExploreReport`] (the *count* is always exact).
+pub const DEFAULT_MAX_ERRORS: usize = 16;
+
+/// The PCT scheduling-decision horizon used by [`Explorer::pct`].
+pub const DEFAULT_PCT_HORIZON: u64 = 64;
 
 /// Aggregated result of an exploration.
-#[derive(Debug, Default)]
+///
+/// Reports merge ([`ExploreReport::merge`]): every field is either a
+/// commutative accumulation (counters, histograms, coverage) or kept in
+/// descriptor order (errors), so a parallel exploration's merged report
+/// equals the serial one.
+#[derive(Debug)]
 pub struct ExploreReport {
     /// Executions performed.
     pub execs: u64,
     /// Executions that completed without a model error.
     pub ok: u64,
-    /// Model errors encountered, with the execution index (random: the
-    /// seed; dfs: the sequence number). At most 16 are kept.
-    pub errors: Vec<(u64, ModelError)>,
+    /// Model errors encountered, with the descriptor of the execution
+    /// that produced each, sorted by descriptor (= serial visit order).
+    /// At most [`ExploreReport::max_errors`] are kept.
+    pub errors: Vec<(StrategyDesc, ModelError)>,
     /// Total number of errors (may exceed `errors.len()`).
     pub error_count: u64,
+    /// Cap on `errors` (default [`DEFAULT_MAX_ERRORS`]); the smallest
+    /// descriptors win, which is what a serial run's "first N" is.
+    pub max_errors: usize,
     /// For DFS: whether the decision tree was fully explored within the
     /// execution budget.
     pub exhausted: bool,
     /// Total model steps across all executions.
     pub total_steps: u64,
     /// Instruction counters summed over all executions.
-    pub stats: ExecStats,
+    pub stats: crate::stats::ExecStats,
     /// Steps-per-execution distribution (log2 buckets).
-    pub steps_hist: StepHistogram,
+    pub steps_hist: crate::stats::StepHistogram,
     /// Schedule coverage: distinct choice traces and (for DFS) decision
     /// tree nodes visited.
-    pub coverage: Coverage,
+    pub coverage: crate::stats::Coverage,
+}
+
+impl Default for ExploreReport {
+    fn default() -> Self {
+        ExploreReport::with_max_errors(DEFAULT_MAX_ERRORS)
+    }
 }
 
 impl ExploreReport {
-    fn record<R>(&mut self, id: u64, out: &RunOutcome<R>) {
+    /// An empty report keeping at most `max_errors` errors verbatim.
+    pub fn with_max_errors(max_errors: usize) -> Self {
+        ExploreReport {
+            execs: 0,
+            ok: 0,
+            errors: Vec::new(),
+            error_count: 0,
+            max_errors,
+            exhausted: false,
+            total_steps: 0,
+            stats: Default::default(),
+            steps_hist: Default::default(),
+            coverage: Default::default(),
+        }
+    }
+
+    pub(crate) fn record<R>(&mut self, desc: &StrategyDesc, out: &RunOutcome<R>) {
         self.execs += 1;
         self.total_steps += out.steps;
         self.stats.merge(&out.stats);
@@ -50,10 +93,34 @@ impl ExploreReport {
             Ok(_) => self.ok += 1,
             Err(e) => {
                 self.error_count += 1;
-                if self.errors.len() < 16 {
-                    self.errors.push((id, e.clone()));
-                }
+                self.keep_error(desc.clone(), e.clone());
             }
+        }
+    }
+
+    /// Inserts in descriptor order, keeping the `max_errors` smallest.
+    fn keep_error(&mut self, desc: StrategyDesc, err: ModelError) {
+        let pos = self.errors.partition_point(|(d, _)| *d < desc);
+        if pos < self.max_errors {
+            self.errors.insert(pos, (desc, err));
+            self.errors.truncate(self.max_errors);
+        }
+    }
+
+    /// Folds another worker's report into this one. Order-insensitive:
+    /// merging per-worker reports in any order yields the same totals,
+    /// and the same `errors` list, as one serial report.
+    pub fn merge(&mut self, other: ExploreReport) {
+        self.execs += other.execs;
+        self.ok += other.ok;
+        self.error_count += other.error_count;
+        self.exhausted |= other.exhausted;
+        self.total_steps += other.total_steps;
+        self.stats.merge(&other.stats);
+        self.steps_hist.merge(&other.steps_hist);
+        self.coverage.merge(&other.coverage);
+        for (desc, err) in other.errors {
+            self.keep_error(desc, err);
         }
     }
 
@@ -109,8 +176,8 @@ impl fmt::Display for ExploreReport {
 
 /// Exploration driver.
 ///
-/// The program is supplied as a closure from a strategy to a
-/// [`RunOutcome`], typically wrapping [`crate::run_model`]:
+/// The program is supplied as a [`Model`] — typically a closure from a
+/// strategy to a [`RunOutcome`] wrapping [`crate::run_model`]:
 ///
 /// ```
 /// use orc11::{Config, Explorer, Mode, ThreadCtx, Val};
@@ -129,49 +196,86 @@ impl fmt::Display for ExploreReport {
 /// }, |_, _| {});
 /// report.assert_all_ok();
 /// ```
-#[derive(Debug, Default)]
-pub struct Explorer;
+///
+/// `threads == 0` (the default) means *auto*: `COMPASS_THREADS` if set,
+/// else the host's available parallelism (capped; see
+/// [`crate::default_threads`]). The merged report is byte-identical for
+/// every thread count — see [`crate::parallel`] for the guarantee's
+/// exact scope.
+#[derive(Clone, Copy, Debug)]
+pub struct Explorer {
+    /// Worker thread count; `0` = auto ([`crate::default_threads`]).
+    pub threads: usize,
+    /// Cap on verbatim errors kept per report
+    /// ([`ExploreReport::max_errors`]).
+    pub max_errors: usize,
+}
+
+impl Default for Explorer {
+    fn default() -> Self {
+        Explorer {
+            threads: 0,
+            max_errors: DEFAULT_MAX_ERRORS,
+        }
+    }
+}
 
 impl Explorer {
+    /// An explorer with auto thread count and default error cap.
+    pub fn new() -> Self {
+        Explorer::default()
+    }
+
+    /// A single-threaded explorer (what `COMPASS_THREADS=1` forces).
+    pub fn serial() -> Self {
+        Explorer {
+            threads: 1,
+            ..Explorer::default()
+        }
+    }
+
+    /// An explorer with an explicit worker count (`0` = auto).
+    pub fn with_threads(threads: usize) -> Self {
+        Explorer {
+            threads,
+            ..Explorer::default()
+        }
+    }
+
     /// Runs `iters` executions with random strategies seeded
     /// `seed0..seed0+iters`, feeding every outcome to `on`.
-    pub fn random<R>(
+    pub fn random<M: Model>(
         &self,
         iters: u64,
         seed0: u64,
-        mut run: impl FnMut(Box<dyn Strategy>) -> RunOutcome<R>,
-        mut on: impl FnMut(u64, &RunOutcome<R>),
+        model: M,
+        on: impl Fn(&StrategyDesc, &RunOutcome<M::Out>) + Sync,
     ) -> ExploreReport {
-        let mut report = ExploreReport::default();
-        for i in 0..iters {
-            let seed = seed0 + i;
-            let out = run(random_strategy(seed));
-            report.record(seed, &out);
-            on(seed, &out);
-        }
-        report
+        self.explore(&WorkSpec::Random { iters, seed0 }, &model, on)
     }
 
     /// Runs `iters` PCT executions (priority scheduling with `depth`
     /// change points, seeds `seed0..seed0+iters`) — typically an order of
     /// magnitude better than [`Explorer::random`] at exposing small-depth
     /// ordering bugs.
-    pub fn pct<R>(
+    pub fn pct<M: Model>(
         &self,
         iters: u64,
         seed0: u64,
         depth: usize,
-        mut run: impl FnMut(Box<dyn Strategy>) -> RunOutcome<R>,
-        mut on: impl FnMut(u64, &RunOutcome<R>),
+        model: M,
+        on: impl Fn(&StrategyDesc, &RunOutcome<M::Out>) + Sync,
     ) -> ExploreReport {
-        let mut report = ExploreReport::default();
-        for i in 0..iters {
-            let seed = seed0 + i;
-            let out = run(crate::sched::pct_strategy(seed, depth, 64));
-            report.record(seed, &out);
-            on(seed, &out);
-        }
-        report
+        self.explore(
+            &WorkSpec::Pct {
+                iters,
+                seed0,
+                depth,
+                horizon: DEFAULT_PCT_HORIZON,
+            },
+            &model,
+            on,
+        )
     }
 
     /// Exhaustively enumerates the program's decision tree, up to
@@ -181,37 +285,45 @@ impl Explorer {
     /// execution (under the model's scheduler granularity) has been
     /// visited. Programs must be deterministic apart from the strategy's
     /// decisions.
-    pub fn dfs<R>(
+    pub fn dfs<M: Model>(
         &self,
         max_execs: u64,
-        mut run: impl FnMut(Box<dyn Strategy>) -> RunOutcome<R>,
-        mut on: impl FnMut(u64, &RunOutcome<R>),
+        model: M,
+        on: impl Fn(&StrategyDesc, &RunOutcome<M::Out>) + Sync,
     ) -> ExploreReport {
-        let mut report = ExploreReport::default();
-        let mut prefix: Vec<u32> = Vec::new();
-        let mut n = 0u64;
-        loop {
-            if n >= max_execs {
-                return report;
-            }
-            let out = run(dfs_strategy(prefix.clone()));
-            report.record(n, &out);
-            // Decision-tree accounting: this execution shares the first
-            // `prefix.len() - 1` decisions with an earlier one (the last
-            // forced choice was freshly bumped), so everything from there
-            // on is new.
-            let shared = prefix.len().saturating_sub(1);
-            report.coverage.dfs_nodes += (out.trace.len() - shared.min(out.trace.len())) as u64;
-            on(n, &out);
-            n += 1;
-            match next_dfs_prefix(&out.trace) {
-                Some(p) => prefix = p,
-                None => {
-                    report.exhausted = true;
-                    return report;
-                }
-            }
-        }
+        self.explore(&WorkSpec::Dfs { budget: max_execs }, &model, on)
+    }
+
+    /// The unified driver all modes reduce to: runs `spec` over `model`,
+    /// invoking `on` for every outcome (concurrently, from worker
+    /// threads — accumulate through a lock or atomics).
+    pub fn explore<M: Model + ?Sized>(
+        &self,
+        spec: &WorkSpec,
+        model: &M,
+        on: impl Fn(&StrategyDesc, &RunOutcome<M::Out>) + Sync,
+    ) -> ExploreReport {
+        self.explore_with(spec, model, |_| &on).0
+    }
+
+    /// [`Explorer::explore`] with one caller-built [`Sink`] per worker
+    /// instead of a shared callback: `make_sink(i)` is called once per
+    /// worker, each sink sees only its own worker's outcomes without
+    /// locking, and all sinks are returned (in worker-index order) for
+    /// the caller to merge. This is what `compass`' checker builds on.
+    pub fn explore_with<M, S, F>(
+        &self,
+        spec: &WorkSpec,
+        model: &M,
+        make_sink: F,
+    ) -> (ExploreReport, Vec<S>)
+    where
+        M: Model + ?Sized,
+        S: Sink<M::Out> + Send,
+        F: Fn(usize) -> S + Sync,
+    {
+        let threads = parallel::resolve_threads(self.threads);
+        parallel::explore_with(threads, self.max_errors, spec, model, make_sink)
     }
 }
 
@@ -220,12 +332,14 @@ mod tests {
     use super::*;
     use crate::exec::{run_model, BodyFn, Config, ThreadCtx};
     use crate::mode::Mode;
+    use crate::sync::Mutex;
     use crate::val::{Loc, Val};
     use std::collections::BTreeSet;
+    use std::sync::atomic::{AtomicU64, Ordering};
 
     /// Store buffering: both threads can read 0 — and DFS must find all
     /// four outcomes.
-    fn sb(strategy: Box<dyn Strategy>) -> RunOutcome<(i64, i64)> {
+    fn sb(strategy: Box<dyn crate::Strategy>) -> RunOutcome<(i64, i64)> {
         run_model(
             &Config::default(),
             strategy,
@@ -246,70 +360,77 @@ mod tests {
 
     #[test]
     fn dfs_finds_all_sb_outcomes() {
-        let mut outcomes = BTreeSet::new();
-        let report = Explorer.dfs(10_000, sb, |_, out| {
-            outcomes.insert(*out.result.as_ref().unwrap());
+        let outcomes = Mutex::new(BTreeSet::new());
+        let report = Explorer::default().dfs(10_000, sb, |_, out| {
+            outcomes.lock().insert(*out.result.as_ref().unwrap());
         });
         assert!(report.exhausted, "SB should be fully explorable");
         report.assert_all_ok();
         // All four combinations, including the weak (0,0).
-        assert_eq!(outcomes, BTreeSet::from([(0, 0), (0, 1), (1, 0), (1, 1)]));
-    }
-
-    #[test]
-    fn pct_finds_weak_sb_outcome() {
-        let mut weak = 0u64;
-        let report = Explorer.pct(300, 0, 2, sb, |_, out| {
-            if *out.result.as_ref().unwrap() == (0, 0) {
-                weak += 1;
-            }
-        });
-        report.assert_all_ok();
-        assert_eq!(report.execs, 300);
-        assert!(weak > 0, "weak SB outcome should appear under PCT too");
-    }
-
-    #[test]
-    fn random_finds_weak_sb_outcome() {
-        let mut weak = 0u64;
-        let report = Explorer.random(300, 0, sb, |_, out| {
-            if *out.result.as_ref().unwrap() == (0, 0) {
-                weak += 1;
-            }
-        });
-        report.assert_all_ok();
-        assert!(
-            weak > 0,
-            "weak SB outcome should appear under random search"
+        assert_eq!(
+            outcomes.into_inner(),
+            BTreeSet::from([(0, 0), (0, 1), (1, 0), (1, 1)])
         );
     }
 
     #[test]
-    fn dfs_reports_errors_without_stopping() {
+    fn pct_finds_weak_sb_outcome() {
+        let weak = AtomicU64::new(0);
+        let report = Explorer::default().pct(300, 0, 2, sb, |_, out| {
+            if *out.result.as_ref().unwrap() == (0, 0) {
+                weak.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        report.assert_all_ok();
+        assert_eq!(report.execs, 300);
+        assert!(
+            weak.load(Ordering::Relaxed) > 0,
+            "weak SB outcome should appear under PCT too"
+        );
+    }
+
+    #[test]
+    fn random_finds_weak_sb_outcome() {
+        let weak = AtomicU64::new(0);
+        let report = Explorer::default().random(300, 0, sb, |_, out| {
+            if *out.result.as_ref().unwrap() == (0, 0) {
+                weak.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        report.assert_all_ok();
+        assert!(
+            weak.load(Ordering::Relaxed) > 0,
+            "weak SB outcome should appear under random search"
+        );
+    }
+
+    fn racy(strategy: Box<dyn crate::Strategy>) -> RunOutcome<()> {
         // Races in SOME interleavings: the non-atomic read of x is safe
         // only when the acquire read observed the release of the gate.
-        let run = |strategy: Box<dyn Strategy>| {
-            run_model(
-                &Config::default(),
-                strategy,
-                |ctx| (ctx.alloc("x", Val::Int(0)), ctx.alloc("gate", Val::Int(0))),
-                vec![
-                    Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
-                        ctx.write(x, Val::Int(1), Mode::NonAtomic);
-                        ctx.write(gate, Val::Int(1), Mode::Release);
-                    }) as BodyFn<'_, _, ()>,
-                    Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
-                        ctx.read(gate, Mode::Acquire);
-                        // Unconditional non-atomic read: a race exactly in
-                        // the interleavings where the gate read saw 0 (or
-                        // the writer has not finished).
-                        ctx.read(x, Mode::NonAtomic);
-                    }),
-                ],
-                |_, _, _| (),
-            )
-        };
-        let report = Explorer.dfs(10_000, run, |_, _| {});
+        run_model(
+            &Config::default(),
+            strategy,
+            |ctx| (ctx.alloc("x", Val::Int(0)), ctx.alloc("gate", Val::Int(0))),
+            vec![
+                Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
+                    ctx.write(x, Val::Int(1), Mode::NonAtomic);
+                    ctx.write(gate, Val::Int(1), Mode::Release);
+                }) as BodyFn<'_, _, ()>,
+                Box::new(|ctx: &mut ThreadCtx, &(x, gate): &(Loc, Loc)| {
+                    ctx.read(gate, Mode::Acquire);
+                    // Unconditional non-atomic read: a race exactly in
+                    // the interleavings where the gate read saw 0 (or
+                    // the writer has not finished).
+                    ctx.read(x, Mode::NonAtomic);
+                }),
+            ],
+            |_, _, _| (),
+        )
+    }
+
+    #[test]
+    fn dfs_reports_errors_without_stopping() {
+        let report = Explorer::default().dfs(10_000, racy, |_, _| {});
         assert!(report.exhausted, "exploration keeps going past errors");
         assert!(report.error_count > 0, "some interleavings race");
         assert!(report.ok > 0, "some interleavings are race-free");
@@ -317,5 +438,55 @@ mod tests {
             .errors
             .iter()
             .all(|(_, e)| matches!(e, crate::ModelError::Race(_))));
+    }
+
+    #[test]
+    fn max_errors_caps_the_list_but_not_the_count() {
+        let capped = Explorer {
+            threads: 1,
+            max_errors: 2,
+        }
+        .dfs(10_000, racy, |_, _| {});
+        assert_eq!(capped.errors.len(), 2);
+        assert!(capped.error_count > 2);
+        // The kept errors are the smallest descriptors (= the first a
+        // serial run encounters).
+        let full = Explorer {
+            threads: 1,
+            max_errors: usize::MAX,
+        }
+        .dfs(10_000, racy, |_, _| {});
+        assert_eq!(capped.errors[0].0, full.errors[0].0);
+        assert_eq!(capped.errors[1].0, full.errors[1].0);
+    }
+
+    #[test]
+    fn parallel_reports_are_byte_identical_to_serial() {
+        for spec in [
+            WorkSpec::Random {
+                iters: 64,
+                seed0: 3,
+            },
+            WorkSpec::Pct {
+                iters: 64,
+                seed0: 3,
+                depth: 2,
+                horizon: DEFAULT_PCT_HORIZON,
+            },
+            WorkSpec::Dfs { budget: 10_000 },
+        ] {
+            let serial = Explorer::serial().explore(&spec, &sb, |_, _| {});
+            let parallel = Explorer::with_threads(4).explore(&spec, &sb, |_, _| {});
+            assert_eq!(
+                serial.to_json().render(),
+                parallel.to_json().render(),
+                "spec {spec:?}"
+            );
+            // The racy program exercises the error path too.
+            let serial = Explorer::serial().explore(&spec, &racy, |_, _| {});
+            let parallel = Explorer::with_threads(4).explore(&spec, &racy, |_, _| {});
+            assert_eq!(serial.to_json().render(), parallel.to_json().render());
+            assert_eq!(serial.errors, parallel.errors, "spec {spec:?}");
+        }
     }
 }

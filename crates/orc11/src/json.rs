@@ -44,14 +44,19 @@ impl Json {
     }
 
     /// Inserts `key: value` (objects only) and returns `self` for
-    /// chaining.
+    /// chaining. An existing key is replaced in place, keeping its
+    /// position — which is what lets tests normalize wall-clock fields
+    /// of a rendered report without disturbing the key order.
     ///
     /// # Panics
     ///
     /// Panics if `self` is not an object.
     pub fn set(mut self, key: &str, value: impl Into<Json>) -> Json {
         match &mut self {
-            Json::Obj(entries) => entries.push((key.to_string(), value.into())),
+            Json::Obj(entries) => match entries.iter_mut().find(|(k, _)| k == key) {
+                Some((_, v)) => *v = value.into(),
+                None => entries.push((key.to_string(), value.into())),
+            },
             other => panic!("Json::set on non-object {other:?}"),
         }
         self

@@ -79,8 +79,10 @@ pub mod json;
 pub mod litmus;
 mod memory;
 mod mode;
+mod model;
 mod msg;
 pub mod oplog;
+mod parallel;
 pub mod rng;
 mod sched;
 pub mod stats;
@@ -88,18 +90,21 @@ pub mod sync;
 mod tview;
 mod val;
 mod view;
+mod work;
 
 pub use clock::VecClock;
 pub use error::{ModelError, RaceInfo};
 pub use exec::{run_model, BodyFn, Config, GhostHandle, OpResult, RunOutcome, ThreadCtx};
-pub use explore::{ExploreReport, Explorer};
+pub use explore::{ExploreReport, Explorer, DEFAULT_MAX_ERRORS, DEFAULT_PCT_HORIZON};
 pub use frontier::Frontier;
 pub use ghost::GhostView;
 pub use json::Json;
 pub use memory::Memory;
 pub use mode::{FenceMode, Mode};
+pub use model::Model;
 pub use msg::Msg;
 pub use oplog::{render_ops, OpKindRecord, OpRecord};
+pub use parallel::{default_threads, Sink};
 pub use sched::{
     dfs_strategy, next_dfs_prefix, pct_strategy, random_strategy, replay_strategy, Choice,
     ChoiceKind, DfsStrategy, PctStrategy, RandomStrategy, Strategy,
@@ -108,3 +113,4 @@ pub use stats::{Coverage, ExecStats, StepHistogram};
 pub use tview::ThreadView;
 pub use val::{Loc, ThreadId, Val};
 pub use view::{Timestamp, View};
+pub use work::{StrategyDesc, WorkSource, WorkSpec};

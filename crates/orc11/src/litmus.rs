@@ -129,41 +129,34 @@ impl<S: Sync + 'static> Litmus<S> {
 
     /// Exhaustive exploration up to `max_execs` executions.
     pub fn dfs(&self, max_execs: u64) -> LitmusReport {
-        let mut histogram = BTreeMap::new();
-        let report = Explorer.dfs(
-            max_execs,
-            |s| self.run_once(s),
-            |_, out| {
-                if let Ok(o) = &out.result {
-                    *histogram.entry(o.clone()).or_insert(0) += 1;
-                }
-            },
-        );
-        LitmusReport {
-            name: self.name.clone(),
-            histogram,
-            report,
-        }
+        self.explore(&crate::WorkSpec::Dfs { budget: max_execs })
     }
 
     /// Random exploration over `iters` seeds.
     pub fn random(&self, iters: u64, seed0: u64) -> LitmusReport {
-        let mut histogram = BTreeMap::new();
-        let report = Explorer.random(
-            iters,
-            seed0,
-            |s| self.run_once(s),
-            |_, out| {
-                if let Ok(o) = &out.result {
-                    *histogram.entry(o.clone()).or_insert(0) += 1;
-                }
-            },
-        );
+        self.explore(&crate::WorkSpec::Random { iters, seed0 })
+    }
+
+    fn explore(&self, spec: &crate::WorkSpec) -> LitmusReport {
+        let histogram = crate::sync::Mutex::new(BTreeMap::new());
+        let report = Explorer::default().explore(spec, self, |_, out| {
+            if let Ok(o) = &out.result {
+                *histogram.lock().entry(o.clone()).or_insert(0) += 1;
+            }
+        });
         LitmusReport {
             name: self.name.clone(),
-            histogram,
+            histogram: histogram.into_inner(),
             report,
         }
+    }
+}
+
+impl<S: Sync + 'static> crate::Model for Litmus<S> {
+    type Out = Vec<i64>;
+
+    fn run(&self, strategy: Box<dyn Strategy>) -> RunOutcome<Vec<i64>> {
+        self.run_once(strategy)
     }
 }
 

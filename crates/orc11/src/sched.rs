@@ -201,9 +201,12 @@ pub fn pct_strategy(seed: u64, depth: usize, horizon: u64) -> Box<dyn Strategy> 
 /// exhausted: the deepest choice with an unexplored alternative is
 /// bumped and everything after it dropped.
 ///
-/// This is *the* backtracking step of every DFS exploration driver in
-/// the workspace ([`crate::Explorer::dfs`] and the `compass` checker's
-/// DFS mode both call it), so the two cannot drift apart.
+/// This is the *serial* backtracking step: calling it after every
+/// execution enumerates the tree depth-first, one path at a time. The
+/// exploration engine behind [`crate::Explorer::dfs`] uses the
+/// equivalent work-stealing formulation (a shared frontier of sibling
+/// prefixes; see [`crate::WorkSource`]), which visits the same set of
+/// paths and degenerates to exactly this order with one worker.
 pub fn next_dfs_prefix(trace: &[Choice]) -> Option<Vec<u32>> {
     let mut path: Vec<(u32, u32)> = trace.iter().map(|c| (c.chosen, c.arity)).collect();
     loop {

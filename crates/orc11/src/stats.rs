@@ -367,6 +367,19 @@ impl Coverage {
         self.seen.len() as u64
     }
 
+    /// Accounts the decision-tree nodes newly visited by one DFS
+    /// execution: an execution claimed at canonical prefix length
+    /// `prefix_len` shares its first `prefix_len - 1` nodes with the
+    /// execution that spawned the prefix, and visits the rest of its
+    /// `trace_len` nodes for the first time.
+    ///
+    /// This is the single home of the accounting both `orc11`'s explorer
+    /// and `compass`' checker report, so the two cannot drift.
+    pub fn record_dfs_execution(&mut self, prefix_len: usize, trace_len: usize) {
+        let shared = prefix_len.saturating_sub(1).min(trace_len);
+        self.dfs_nodes += (trace_len - shared) as u64;
+    }
+
     /// Merges `other` into `self`.
     pub fn merge(&mut self, other: &Coverage) {
         self.seen.extend(other.seen.iter().copied());

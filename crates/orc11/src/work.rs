@@ -1,0 +1,441 @@
+//! Work enumeration shared by the serial and parallel exploration
+//! drivers.
+//!
+//! A [`WorkSpec`] describes a whole exploration (a seed range, or a DFS
+//! budget); a [`WorkSource`] turns it into a stream of
+//! [`StrategyDesc`]s — self-contained strategy descriptors — that any
+//! number of workers can claim concurrently. Serial exploration is just
+//! the one-worker special case, so there is exactly one enumeration to
+//! get right.
+//!
+//! For random/PCT the source hands out chunks of a seed range. For DFS
+//! it maintains a shared LIFO *frontier* of forced choice prefixes:
+//! completing an execution pushes the unexplored sibling prefixes of
+//! every fresh node on its path (deepest on top), which is the standard
+//! iterative formulation of depth-first search. Claimed single-threaded,
+//! the frontier visits prefixes in exactly the order the recursive
+//! backtracking driver ([`crate::next_dfs_prefix`]) does; claimed from
+//! many threads it visits the same *set*, which is why exhaustive
+//! parallel reports can be byte-identical to serial ones.
+
+use crate::sched::{dfs_strategy, pct_strategy, random_strategy, Choice, Strategy};
+use crate::sync::{Condvar, Mutex};
+use std::fmt;
+
+/// How many random/PCT seeds a worker claims per lock acquisition.
+const SEED_CHUNK: u64 = 16;
+
+/// A self-contained descriptor of one execution's strategy.
+///
+/// The descriptor doubles as the execution's *identity*: its derived
+/// ordering (seed order for random/PCT, lexicographic prefix order for
+/// DFS) is exactly the order a serial exploration visits executions in,
+/// so sorting by descriptor reconstructs the serial order from any
+/// concurrent interleaving.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum StrategyDesc {
+    /// Seeded uniform-random execution.
+    Random {
+        /// The seed.
+        seed: u64,
+    },
+    /// PCT execution (priority scheduling with change points).
+    Pct {
+        /// The seed.
+        seed: u64,
+        /// Number of priority-change points.
+        depth: usize,
+        /// Scheduling-decision horizon the change points are drawn from.
+        horizon: u64,
+    },
+    /// DFS execution: the forced choice prefix identifies the path
+    /// (beyond it the strategy always picks alternative 0).
+    Dfs {
+        /// The forced choice prefix.
+        prefix: Vec<u32>,
+    },
+}
+
+impl StrategyDesc {
+    /// Instantiates the strategy this descriptor describes; running the
+    /// same [`crate::Model`] under it reproduces the execution exactly.
+    pub fn strategy(&self) -> Box<dyn Strategy> {
+        match self {
+            StrategyDesc::Random { seed } => random_strategy(*seed),
+            StrategyDesc::Pct {
+                seed,
+                depth,
+                horizon,
+            } => pct_strategy(*seed, *depth, *horizon),
+            StrategyDesc::Dfs { prefix } => dfs_strategy(prefix.clone()),
+        }
+    }
+}
+
+impl fmt::Display for StrategyDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyDesc::Random { seed } => write!(f, "random seed {seed}"),
+            StrategyDesc::Pct { seed, depth, .. } => write!(f, "pct seed {seed} depth {depth}"),
+            StrategyDesc::Dfs { prefix } => write!(f, "dfs prefix {prefix:?}"),
+        }
+    }
+}
+
+/// A whole exploration, described declaratively.
+#[derive(Clone, Debug)]
+pub enum WorkSpec {
+    /// `iters` seeded uniform-random executions starting at `seed0`.
+    Random {
+        /// Number of executions.
+        iters: u64,
+        /// First seed.
+        seed0: u64,
+    },
+    /// `iters` PCT executions with `depth` change points over `horizon`
+    /// scheduling decisions.
+    Pct {
+        /// Number of executions.
+        iters: u64,
+        /// First seed.
+        seed0: u64,
+        /// Number of priority-change points.
+        depth: usize,
+        /// Scheduling-decision horizon.
+        horizon: u64,
+    },
+    /// Bounded-exhaustive DFS with an execution budget.
+    Dfs {
+        /// Maximum executions before giving up on exhausting the tree.
+        budget: u64,
+    },
+}
+
+impl WorkSpec {
+    /// Upper bound on the number of executions this spec will perform
+    /// (used for progress reporting).
+    pub fn total(&self) -> u64 {
+        match *self {
+            WorkSpec::Random { iters, .. } | WorkSpec::Pct { iters, .. } => iters,
+            WorkSpec::Dfs { budget } => budget,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+enum SeedKind {
+    Random,
+    Pct { depth: usize, horizon: u64 },
+}
+
+impl SeedKind {
+    fn desc(self, seed: u64) -> StrategyDesc {
+        match self {
+            SeedKind::Random => StrategyDesc::Random { seed },
+            SeedKind::Pct { depth, horizon } => StrategyDesc::Pct {
+                seed,
+                depth,
+                horizon,
+            },
+        }
+    }
+}
+
+#[derive(Debug)]
+enum State {
+    Seeds {
+        kind: SeedKind,
+        next: u64,
+        end: u64,
+    },
+    Dfs {
+        /// LIFO stack of unexplored forced prefixes (top = deepest).
+        frontier: Vec<Vec<u32>>,
+        /// Executions issued so far (claims, not completions).
+        issued: u64,
+        budget: u64,
+        /// Workers currently running a claimed DFS execution — they may
+        /// still push new prefixes, so an empty frontier with `active >
+        /// 0` means "wait", not "done".
+        active: usize,
+    },
+}
+
+/// A concurrent source of [`StrategyDesc`]s for one exploration.
+///
+/// Workers repeatedly [`claim`](WorkSource::claim) a batch, run each
+/// descriptor, and [`complete`](WorkSource::complete) it with the
+/// recorded trace (which, for DFS, feeds the frontier). All coordination
+/// is internal; the source is shared by reference between threads.
+#[derive(Debug)]
+pub struct WorkSource {
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+impl WorkSource {
+    /// Creates a source covering the whole of `spec`.
+    pub fn new(spec: &WorkSpec) -> Self {
+        let state = match *spec {
+            WorkSpec::Random { iters, seed0 } => State::Seeds {
+                kind: SeedKind::Random,
+                next: seed0,
+                end: seed0.saturating_add(iters),
+            },
+            WorkSpec::Pct {
+                iters,
+                seed0,
+                depth,
+                horizon,
+            } => State::Seeds {
+                kind: SeedKind::Pct { depth, horizon },
+                next: seed0,
+                end: seed0.saturating_add(iters),
+            },
+            WorkSpec::Dfs { budget } => State::Dfs {
+                frontier: vec![Vec::new()],
+                issued: 0,
+                budget,
+                active: 0,
+            },
+        };
+        WorkSource {
+            state: Mutex::new(state),
+            available: Condvar::new(),
+        }
+    }
+
+    /// Claims the next batch of work, or `None` when the exploration is
+    /// over (budget reached, or nothing left and no worker can produce
+    /// more). Blocks when the DFS frontier is momentarily empty but
+    /// other workers are still running.
+    pub fn claim(&self) -> Option<Vec<StrategyDesc>> {
+        let mut st = self.state.lock();
+        loop {
+            match &mut *st {
+                State::Seeds { kind, next, end } => {
+                    if *next >= *end {
+                        return None;
+                    }
+                    let n = SEED_CHUNK.min(*end - *next);
+                    let batch = (*next..*next + n).map(|seed| kind.desc(seed)).collect();
+                    *next += n;
+                    return Some(batch);
+                }
+                State::Dfs {
+                    frontier,
+                    issued,
+                    budget,
+                    active,
+                } => {
+                    if *issued >= *budget {
+                        return None;
+                    }
+                    if let Some(prefix) = frontier.pop() {
+                        *issued += 1;
+                        *active += 1;
+                        return Some(vec![StrategyDesc::Dfs { prefix }]);
+                    }
+                    if *active == 0 {
+                        return None;
+                    }
+                    self.available.wait(&mut st);
+                }
+            }
+        }
+    }
+
+    /// Reports a claimed execution's recorded trace back to the source.
+    ///
+    /// For DFS this performs the *sibling expansion*: for every decision
+    /// on the path past the forced prefix (where the strategy defaulted
+    /// to alternative 0), the unexplored alternatives are pushed as new
+    /// forced prefixes — deepest decision on top, smallest alternative
+    /// first, which is exactly recursive DFS order when there is a
+    /// single worker. Every leaf's canonical prefix is pushed exactly
+    /// once, so the visited set does not depend on worker count.
+    pub fn complete(&self, desc: &StrategyDesc, trace: &[Choice]) {
+        let StrategyDesc::Dfs { prefix } = desc else {
+            return;
+        };
+        let mut st = self.state.lock();
+        if let State::Dfs {
+            frontier, active, ..
+        } = &mut *st
+        {
+            for d in prefix.len()..trace.len() {
+                let c = trace[d];
+                for a in (c.chosen + 1..c.arity).rev() {
+                    let mut p: Vec<u32> = trace[..d].iter().map(|c| c.chosen).collect();
+                    p.push(a);
+                    frontier.push(p);
+                }
+            }
+            *active -= 1;
+            self.available.notify_all();
+        }
+    }
+
+    /// Arms a panic-safety guard for the execution about to run: if the
+    /// model or a sink panics before [`WorkSource::complete`] runs, the
+    /// guard's drop releases the worker's `active` slot so sibling
+    /// workers blocked in [`WorkSource::claim`] wake up and drain
+    /// instead of deadlocking under the panic.
+    pub fn guard(&self) -> ActiveGuard<'_> {
+        ActiveGuard {
+            source: self,
+            armed: true,
+        }
+    }
+
+    /// Whether the DFS tree was fully enumerated (always `false` for
+    /// seed-based specs). Meaningful once all workers have returned.
+    pub fn exhausted(&self) -> bool {
+        match &*self.state.lock() {
+            State::Seeds { .. } => false,
+            State::Dfs {
+                frontier, active, ..
+            } => frontier.is_empty() && *active == 0,
+        }
+    }
+
+    fn release(&self) {
+        let mut st = self.state.lock();
+        if let State::Dfs { active, .. } = &mut *st {
+            *active -= 1;
+            self.available.notify_all();
+        }
+    }
+}
+
+/// See [`WorkSource::guard`].
+#[derive(Debug)]
+pub struct ActiveGuard<'a> {
+    source: &'a WorkSource,
+    armed: bool,
+}
+
+impl ActiveGuard<'_> {
+    /// Disarms the guard; call after [`WorkSource::complete`] has run.
+    pub fn disarm(&mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.source.release();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sched::{next_dfs_prefix, ChoiceKind, DfsStrategy};
+
+    /// A fixed 2×3 decision tree.
+    fn run_tree(prefix: Vec<u32>) -> Vec<Choice> {
+        let mut s = DfsStrategy::new(prefix);
+        let a = s.choose(ChoiceKind::Thread, 2) as u32;
+        let b = s.choose(ChoiceKind::Read, 3) as u32;
+        vec![
+            Choice {
+                kind: ChoiceKind::Thread,
+                chosen: a,
+                arity: 2,
+            },
+            Choice {
+                kind: ChoiceKind::Read,
+                chosen: b,
+                arity: 3,
+            },
+        ]
+    }
+
+    #[test]
+    fn single_worker_frontier_matches_recursive_dfs_order() {
+        // Enumerate the reference order with next_dfs_prefix.
+        let mut reference = Vec::new();
+        let mut prefix = Vec::new();
+        loop {
+            let trace = run_tree(prefix.clone());
+            reference.push((trace[0].chosen, trace[1].chosen));
+            match next_dfs_prefix(&trace) {
+                Some(p) => prefix = p,
+                None => break,
+            }
+        }
+        assert_eq!(
+            reference,
+            vec![(0, 0), (0, 1), (0, 2), (1, 0), (1, 1), (1, 2)]
+        );
+
+        // The frontier, drained by one worker, visits the same order.
+        let source = WorkSource::new(&WorkSpec::Dfs { budget: 100 });
+        let mut visited = Vec::new();
+        while let Some(batch) = source.claim() {
+            for desc in batch {
+                let StrategyDesc::Dfs { prefix } = &desc else {
+                    unreachable!()
+                };
+                let trace = run_tree(prefix.clone());
+                visited.push((trace[0].chosen, trace[1].chosen));
+                source.complete(&desc, &trace);
+            }
+        }
+        assert_eq!(visited, reference);
+        assert!(source.exhausted());
+    }
+
+    #[test]
+    fn dfs_budget_truncates_and_is_not_exhausted() {
+        let source = WorkSource::new(&WorkSpec::Dfs { budget: 3 });
+        let mut n = 0;
+        while let Some(batch) = source.claim() {
+            for desc in batch {
+                let StrategyDesc::Dfs { prefix } = &desc else {
+                    unreachable!()
+                };
+                let trace = run_tree(prefix.clone());
+                n += 1;
+                source.complete(&desc, &trace);
+            }
+        }
+        assert_eq!(n, 3);
+        assert!(!source.exhausted(), "budget cut the tree short");
+    }
+
+    #[test]
+    fn seed_source_covers_the_range_in_chunks() {
+        let source = WorkSource::new(&WorkSpec::Random {
+            iters: 40,
+            seed0: 5,
+        });
+        let mut seeds = Vec::new();
+        while let Some(batch) = source.claim() {
+            assert!(batch.len() as u64 <= SEED_CHUNK);
+            for desc in batch {
+                match desc {
+                    StrategyDesc::Random { seed } => seeds.push(seed),
+                    other => panic!("unexpected desc {other:?}"),
+                }
+            }
+        }
+        assert_eq!(seeds, (5..45).collect::<Vec<_>>());
+        assert!(!source.exhausted());
+    }
+
+    #[test]
+    fn descriptor_order_is_the_serial_visit_order() {
+        // Seeds order by seed; DFS prefixes order lexicographically,
+        // which is the order the frontier test above visits them in.
+        assert!(StrategyDesc::Random { seed: 1 } < StrategyDesc::Random { seed: 2 });
+        let d = |p: &[u32]| StrategyDesc::Dfs { prefix: p.to_vec() };
+        assert!(d(&[]) < d(&[0, 1]));
+        assert!(d(&[0, 1]) < d(&[0, 2]));
+        assert!(d(&[0, 2]) < d(&[1]));
+        assert!(d(&[1]) < d(&[1, 1]));
+    }
+}

@@ -20,7 +20,7 @@ cargo test --release --test flexibility -- --nocapture | tee "$out/e11_e12.txt"
 # Collect the per-experiment metrics into one summary document.
 summary="$out/summary.json"
 {
-  printf '{\n  "schema_version": 1,\n  "experiments": [\n'
+  printf '{\n  "schema_version": 2,\n  "experiments": [\n'
   first=1
   for exp in "${exps[@]}"; do
     f="$out/$exp.json"

@@ -9,7 +9,7 @@ use compass_repro::structures::queue::{ModelQueue, MsQueue};
 use orc11::{run_model, BodyFn, Config, Strategy, ThreadCtx, Val};
 
 fn queue_program<Q: ModelQueue>(
-    make: impl Fn(&mut ThreadCtx) -> Q,
+    make: impl Fn(&mut ThreadCtx) -> Q + Send + Sync,
     strategy: Box<dyn Strategy>,
 ) -> orc11::RunOutcome<compass::Graph<compass::queue_spec::QueueEvent>> {
     run_model(
@@ -29,7 +29,7 @@ fn queue_program<Q: ModelQueue>(
 }
 
 fn explore<Q: ModelQueue>(
-    make: impl Fn(&mut ThreadCtx) -> Q + Copy,
+    make: impl Fn(&mut ThreadCtx) -> Q + Copy + Send + Sync,
     e: &Exploration,
 ) -> CheckReport {
     check_executions(

@@ -28,21 +28,22 @@ fn mp_hw_queue_bounded_dfs() {
     // Bounded-exhaustive exploration of the full client. The tree is too
     // large to exhaust in a unit test, but every execution DFS visits
     // must satisfy the MP property.
-    let mut checked = 0u64;
-    let report = Explorer.dfs(
+    use std::sync::atomic::{AtomicU64, Ordering};
+    let checked = AtomicU64::new(0);
+    let report = Explorer::default().dfs(
         3_000,
         |strategy| run_mp(|ctx| HwQueue::new(ctx, 4), true, strategy),
-        |n, out| {
+        |desc, out| {
             let res = out
                 .result
                 .as_ref()
-                .unwrap_or_else(|e| panic!("exec {n}: {e}"));
-            check_mp(res, true).unwrap_or_else(|e| panic!("exec {n}: {e}"));
-            checked += 1;
+                .unwrap_or_else(|e| panic!("{desc}: {e}"));
+            check_mp(res, true).unwrap_or_else(|e| panic!("{desc}: {e}"));
+            checked.fetch_add(1, Ordering::Relaxed);
         },
     );
     assert_eq!(report.error_count, 0);
-    assert!(checked >= 3_000 || report.exhausted);
+    assert!(checked.load(Ordering::Relaxed) >= 3_000 || report.exhausted);
 }
 
 #[test]

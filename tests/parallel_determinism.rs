@@ -1,0 +1,132 @@
+//! Integration: parallel exploration is observably identical to serial.
+//!
+//! The engine's contract (see `orc11::parallel`) is that a report is a
+//! deterministic function of the work specification alone — never of the
+//! worker count. These tests pin that end to end: the raw `orc11`
+//! explorer on the store-buffering litmus, and the full `compass`
+//! checker on a buggy structure, each rendered to JSON at `threads = 1`
+//! and `threads = 4` and compared byte for byte.
+
+use compass::checker::{check_executions_with, CheckOptions, Exploration};
+use compass::queue_spec::check_queue_consistent;
+use compass_repro::structures::buggy::RelaxedMsQueue;
+use compass_repro::structures::queue::ModelQueue;
+use orc11::{
+    run_model, BodyFn, Config, Explorer, Json, Loc, Mode, RunOutcome, ThreadCtx, Val, WorkSpec,
+};
+
+/// The classic store-buffering litmus: both threads may read 0.
+fn sb(strategy: Box<dyn orc11::Strategy>) -> RunOutcome<(i64, i64)> {
+    run_model(
+        &Config::default(),
+        strategy,
+        |ctx| (ctx.alloc("x", Val::Int(0)), ctx.alloc("y", Val::Int(0))),
+        vec![
+            Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                ctx.read(y, Mode::Relaxed).expect_int()
+            }) as BodyFn<'_, _, _>,
+            Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
+                ctx.write(y, Val::Int(1), Mode::Relaxed);
+                ctx.read(x, Mode::Relaxed).expect_int()
+            }),
+        ],
+        |_, _, outs| (outs[0], outs[1]),
+    )
+}
+
+#[test]
+fn sb_litmus_reports_are_thread_count_independent() {
+    for spec in [
+        WorkSpec::Random {
+            iters: 400,
+            seed0: 7,
+        },
+        WorkSpec::Pct {
+            iters: 400,
+            seed0: 7,
+            depth: 2,
+            horizon: 16,
+        },
+        WorkSpec::Dfs { budget: 10_000 },
+    ] {
+        let serial = Explorer::serial().explore(&spec, &sb, |_, _| {});
+        let parallel = Explorer::with_threads(4).explore(&spec, &sb, |_, _| {});
+        assert_eq!(
+            serial.to_json().render(),
+            parallel.to_json().render(),
+            "threads=4 must match serial for {spec:?}"
+        );
+    }
+}
+
+/// The checker report with its wall-clock fields pinned; everything
+/// else — violation counts, per-clause attribution, samples, search
+/// stats, coverage — must be thread-count independent.
+fn normalized(report: &compass::checker::CheckReport) -> String {
+    report
+        .to_json()
+        .set("check_ns", 0u64)
+        .set("check_ns_by_rule", Json::obj())
+        .render_pretty()
+}
+
+fn check_buggy_queue(exploration: &Exploration, threads: usize) -> String {
+    let opts = CheckOptions {
+        threads,
+        ..CheckOptions::default()
+    };
+    let report = check_executions_with(
+        exploration,
+        &opts,
+        |strategy| {
+            run_model(
+                &Config::default(),
+                strategy,
+                RelaxedMsQueue::new,
+                vec![
+                    Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
+                        q.enqueue(ctx, Val::Int(1));
+                    }) as BodyFn<'_, _, ()>,
+                    Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
+                        q.try_dequeue(ctx);
+                    }),
+                ],
+                |_, q, _| q.obj().snapshot(),
+            )
+        },
+        check_queue_consistent,
+    );
+    normalized(&report)
+}
+
+#[test]
+fn buggy_structure_checker_reports_are_thread_count_independent() {
+    for exploration in [
+        Exploration::Random {
+            iters: 200,
+            seed0: 0,
+        },
+        Exploration::Pct {
+            iters: 200,
+            seed0: 0,
+            depth: 3,
+        },
+        Exploration::Dfs { budget: 400_000 },
+    ] {
+        let serial = check_buggy_queue(&exploration, 1);
+        let parallel = check_buggy_queue(&exploration, 4);
+        assert_eq!(
+            serial, parallel,
+            "threads=4 must match serial for {exploration:?}"
+        );
+        // The buggy queue actually fails, so the comparison covers
+        // violation attribution and sample selection, not just zeros.
+        if !matches!(exploration, Exploration::Random { .. }) {
+            assert!(
+                serial.contains("QUEUE-SO-LHB"),
+                "expected a violation in the compared report:\n{serial}"
+            );
+        }
+    }
+}

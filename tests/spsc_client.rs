@@ -19,15 +19,15 @@ fn spsc_random_sweep() {
 #[test]
 fn spsc_exhaustive_small() {
     // n = 1 is small enough to exhaust the scheduler tree completely.
-    let report = Explorer.dfs(
+    let report = Explorer::default().dfs(
         50_000,
         |strategy| run_spsc(1, strategy),
-        |n, out| {
+        |desc, out| {
             let res = out
                 .result
                 .as_ref()
-                .unwrap_or_else(|e| panic!("exec {n}: {e}"));
-            check_spsc(res, 1).unwrap_or_else(|e| panic!("exec {n}: {e}"));
+                .unwrap_or_else(|e| panic!("{desc}: {e}"));
+            check_spsc(res, 1).unwrap_or_else(|e| panic!("{desc}: {e}"));
         },
     );
     assert!(
