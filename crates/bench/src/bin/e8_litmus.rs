@@ -2,23 +2,70 @@
 //!
 //! Exhaustively explores the classic shapes and prints outcome
 //! histograms, asserting allowed outcomes appear and forbidden ones never
-//! do.
+//! do. Every test runs twice — plain DFS and DPOR-pruned DFS — and the
+//! two must agree on the outcome set; the final table shows how many
+//! executions the partial-order reduction saved on each shape.
 
 use compass_bench::metrics::Metrics;
-use orc11::litmus::{gallery, LitmusReport};
+use orc11::litmus::{gallery, Litmus, LitmusReport};
 use orc11::Json;
 
-fn litmus_json(r: &LitmusReport) -> Json {
-    let histogram = r.histogram.iter().fold(Json::arr(), |j, (outcome, count)| {
-        j.push(
-            Json::obj()
-                .set("outcome", outcome.clone())
-                .set("count", *count),
-        )
-    });
-    Json::obj()
-        .set("histogram", histogram)
-        .set("report", r.report.to_json())
+/// One gallery entry explored both ways, outcome sets already checked
+/// equal.
+struct Row {
+    name: String,
+    plain: LitmusReport,
+    dpor: LitmusReport,
+}
+
+impl Row {
+    /// Runs `t` under plain and DPOR DFS; the reduction is only
+    /// meaningful (and the comparison only fair) if both exhaust.
+    fn run<S: Sync + 'static>(t: &Litmus<S>, budget: u64) -> Row {
+        let plain = t.dfs_plain(budget);
+        let dpor = t.dfs_dpor(budget);
+        assert!(
+            plain.report.exhausted && dpor.report.exhausted,
+            "{}: both explorations must exhaust within budget {budget}",
+            t.name()
+        );
+        let plain_keys: Vec<_> = plain.histogram.keys().collect();
+        let dpor_keys: Vec<_> = dpor.histogram.keys().collect();
+        assert_eq!(
+            plain_keys,
+            dpor_keys,
+            "{}: DPOR changed the outcome set",
+            t.name()
+        );
+        Row {
+            name: t.name().to_string(),
+            plain,
+            dpor,
+        }
+    }
+
+    fn to_json(&self) -> Json {
+        let histogram = self
+            .plain
+            .histogram
+            .iter()
+            .fold(Json::arr(), |j, (outcome, count)| {
+                j.push(
+                    Json::obj()
+                        .set("outcome", outcome.clone())
+                        .set("count", *count),
+                )
+            });
+        let stats = self.dpor.report.dpor.as_ref().expect("DPOR run has stats");
+        Json::obj()
+            .set("histogram", histogram)
+            .set("plain_execs", self.plain.report.execs)
+            .set("dpor_execs", self.dpor.report.execs)
+            .set("dpor_backtrack_points", stats.backtrack_points)
+            .set("dpor_sleep_hits", stats.sleep_hits)
+            .set("dpor_pruned_subtrees", stats.pruned_subtrees)
+            .set("report", self.plain.report.to_json())
+    }
 }
 
 fn main() {
@@ -29,71 +76,101 @@ fn main() {
         .unwrap_or(500_000);
 
     println!("E8 — litmus gallery (exhaustive DFS, budget {budget} executions per test)\n");
+    let mut rows: Vec<Row> = Vec::new();
     let mut tests = Json::obj();
-    let mut add = |name: &str, r: &LitmusReport| {
-        let t = std::mem::replace(&mut tests, Json::Null);
-        tests = t.set(name, litmus_json(r));
+    let add = |rows: &mut Vec<Row>, tests: &mut Json, row: Row| {
+        let t = std::mem::replace(tests, Json::Null);
+        *tests = t.set(row.name.as_str(), row.to_json());
+        rows.push(row);
     };
 
-    let mp = gallery::mp_rel_acq().dfs(budget);
-    mp.assert_never(&[0, 0]);
-    mp.assert_observable(&[0, 1]);
-    println!("{mp}  ⇒ stale read FORBIDDEN (release/acquire) ✓\n");
-    add("mp_rel_acq", &mp);
+    let mp = Row::run(&gallery::mp_rel_acq(), budget);
+    mp.plain.assert_never(&[0, 0]);
+    mp.plain.assert_observable(&[0, 1]);
+    println!("{}  ⇒ stale read FORBIDDEN (release/acquire) ✓\n", mp.plain);
+    add(&mut rows, &mut tests, mp);
 
-    let mpr = gallery::mp_relaxed().dfs(budget);
-    mpr.assert_observable(&[0, 0]);
-    println!("{mpr}  ⇒ stale read ALLOWED (relaxed flag) ✓\n");
-    add("mp_relaxed", &mpr);
+    let mpr = Row::run(&gallery::mp_relaxed(), budget);
+    mpr.plain.assert_observable(&[0, 0]);
+    println!("{}  ⇒ stale read ALLOWED (relaxed flag) ✓\n", mpr.plain);
+    add(&mut rows, &mut tests, mpr);
 
-    let mpf = gallery::mp_fences().dfs(budget);
-    mpf.assert_never(&[0, 0]);
-    println!("{mpf}  ⇒ stale read FORBIDDEN (rel/acq fences) ✓\n");
-    add("mp_fences", &mpf);
+    let mpf = Row::run(&gallery::mp_fences(), budget);
+    mpf.plain.assert_never(&[0, 0]);
+    println!("{}  ⇒ stale read FORBIDDEN (rel/acq fences) ✓\n", mpf.plain);
+    add(&mut rows, &mut tests, mpf);
 
-    let sb = gallery::sb().dfs(budget);
-    sb.assert_observable(&[0, 0]);
-    println!("{sb}  ⇒ store buffering ALLOWED ✓\n");
-    add("sb", &sb);
+    let sb = Row::run(&gallery::sb(), budget);
+    sb.plain.assert_observable(&[0, 0]);
+    println!("{}  ⇒ store buffering ALLOWED ✓\n", sb.plain);
+    add(&mut rows, &mut tests, sb);
 
-    let corr = gallery::corr().dfs(budget);
-    corr.report.assert_all_ok();
-    println!("{corr}  ⇒ coherence respected ✓\n");
-    add("corr", &corr);
+    let sbf = Row::run(&gallery::sb_sc_fences(), budget);
+    sbf.plain.assert_never(&[0, 0]);
+    println!("{}  ⇒ store buffering FORBIDDEN (SC fences) ✓\n", sbf.plain);
+    add(&mut rows, &mut tests, sbf);
 
-    let iriw = gallery::iriw_acq().dfs(budget);
-    iriw.assert_observable(&[0, 0, 10, 10]);
-    println!("{iriw}  ⇒ IRIW disagreement ALLOWED under acquire reads (RC11, unlike SC) ✓\n");
-    add("iriw_acq", &iriw);
+    let corr = Row::run(&gallery::corr(), budget);
+    corr.plain.report.assert_all_ok();
+    println!("{}  ⇒ coherence respected ✓\n", corr.plain);
+    add(&mut rows, &mut tests, corr);
 
-    let lb = gallery::lb().dfs(budget);
-    lb.assert_never(&[1, 1]);
-    println!("{lb}  ⇒ load buffering FORBIDDEN (po ∪ rf acyclic, the ORC11 restriction) ✓\n");
-    add("lb", &lb);
-
-    let ttw = gallery::two_plus_two_w().dfs(budget);
-    assert!(!ttw.observed(&[0, 0, 1, 1]));
+    let iriw = Row::run(&gallery::iriw_acq(), budget);
+    iriw.plain.assert_observable(&[0, 0, 10, 10]);
     println!(
-        "{ttw}  ⇒ 2+2W weak outcome absent (append-only mo — documented model limitation) ✓\n"
+        "{}  ⇒ IRIW disagreement ALLOWED under acquire reads (RC11, unlike SC) ✓\n",
+        iriw.plain
     );
-    add("two_plus_two_w", &ttw);
+    add(&mut rows, &mut tests, iriw);
 
-    let cowr = gallery::cowr().dfs(budget);
-    cowr.assert_never(&[0, 0]);
-    println!("{cowr}  ⇒ coherence write-read ✓\n");
-    add("cowr", &cowr);
+    let lb = Row::run(&gallery::lb(), budget);
+    lb.plain.assert_never(&[1, 1]);
+    println!(
+        "{}  ⇒ load buffering FORBIDDEN (po ∪ rf acyclic, the ORC11 restriction) ✓\n",
+        lb.plain
+    );
+    add(&mut rows, &mut tests, lb);
 
-    let rs = gallery::release_sequence().dfs(budget);
-    rs.assert_never(&[0, 0, 0]);
-    println!("{rs}  ⇒ release sequences through relaxed RMWs ✓\n");
-    add("release_sequence", &rs);
+    let ttw = Row::run(&gallery::two_plus_two_w(), budget);
+    assert!(!ttw.plain.observed(&[0, 0, 1, 1]));
+    println!(
+        "{}  ⇒ 2+2W weak outcome absent (append-only mo — documented model limitation) ✓\n",
+        ttw.plain
+    );
+    add(&mut rows, &mut tests, ttw);
 
-    let rmw = gallery::rmw_atomicity().dfs(budget);
-    for outcome in rmw.histogram.keys() {
+    let cowr = Row::run(&gallery::cowr(), budget);
+    cowr.plain.assert_never(&[0, 0]);
+    println!("{}  ⇒ coherence write-read ✓\n", cowr.plain);
+    add(&mut rows, &mut tests, cowr);
+
+    let rs = Row::run(&gallery::release_sequence(), budget);
+    rs.plain.assert_never(&[0, 0, 0]);
+    println!("{}  ⇒ release sequences through relaxed RMWs ✓\n", rs.plain);
+    add(&mut rows, &mut tests, rs);
+
+    let rmw = Row::run(&gallery::rmw_atomicity(), budget);
+    for outcome in rmw.plain.histogram.keys() {
         assert_ne!(outcome.as_slice(), &[1, 1], "RMWs must not duplicate");
     }
-    println!("{rmw}  ⇒ RMW atomicity ✓");
-    add("rmw_atomicity", &rmw);
+    println!("{}  ⇒ RMW atomicity ✓\n", rmw.plain);
+    add(&mut rows, &mut tests, rmw);
+
+    println!("Partial-order reduction (identical outcome sets, fewer executions):\n");
+    println!(
+        "  {:<18} {:>10} {:>10} {:>9}",
+        "test", "plain DFS", "DPOR DFS", "reduction"
+    );
+    for row in &rows {
+        let (p, d) = (row.plain.report.execs, row.dpor.report.execs);
+        println!(
+            "  {:<18} {:>10} {:>10} {:>8.2}x",
+            row.name,
+            p,
+            d,
+            p as f64 / d as f64
+        );
+    }
 
     m.param("budget", budget);
     m.set("tests", tests);

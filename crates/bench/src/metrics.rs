@@ -7,9 +7,10 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 2,
+//!   "schema_version": 3,
 //!   "experiment": "<id>",
 //!   "threads": 4,         // exploration worker threads for this run
+//!   "dpor": false,        // whether COMPASS_DPOR pruned DFS runs
 //!   "wall_ns": 12345678,  // wall-clock from Metrics::new() to to_json()
 //!   "params": { ... },    // run parameters (seed counts, budgets, ...)
 //!   "data": { ... }       // the experiment's measurements
@@ -20,7 +21,10 @@
 //! [`orc11::default_threads`] — so `BENCH_*` trajectories can attribute
 //! throughput to parallelism) and `wall_ns` (wall-clock nanoseconds from
 //! [`Metrics::new`] to serialization, the denominator of any speedup
-//! claim). `params` and `data` are experiment-specific but always
+//! claim). Schema v3 adds `dpor` (whether the `COMPASS_DPOR` environment
+//! variable switched the run's environment-sensitive DFS explorations to
+//! DPOR pruning — see `orc11::dpor`), resolved at [`Metrics::new`] like
+//! `threads`. `params` and `data` are experiment-specific but always
 //! objects; every count is a JSON integer, every ratio a JSON float (the
 //! in-tree emitter guarantees floats stay float-shaped — see
 //! [`orc11::Json`]). `scripts/run_experiments.sh` collects the
@@ -33,13 +37,14 @@ use std::time::Instant;
 use orc11::Json;
 
 /// The metrics schema version emitted by this crate.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Builder for one experiment's metrics file.
 #[derive(Clone, Debug)]
 pub struct Metrics {
     id: String,
     threads: u64,
+    dpor: bool,
     start: Instant,
     params: Json,
     data: Json,
@@ -54,6 +59,7 @@ impl Metrics {
         Metrics {
             id: id.to_string(),
             threads: orc11::default_threads() as u64,
+            dpor: orc11::dpor_from_env(),
             start: Instant::now(),
             params: Json::obj(),
             data: Json::obj(),
@@ -78,6 +84,7 @@ impl Metrics {
             .set("schema_version", SCHEMA_VERSION)
             .set("experiment", self.id.as_str())
             .set("threads", self.threads)
+            .set("dpor", self.dpor)
             .set("wall_ns", self.start.elapsed().as_nanos() as u64)
             .set("params", self.params.clone())
             .set("data", self.data.clone())
@@ -127,10 +134,11 @@ mod tests {
         m.set("consistent", 100u64);
         m.set("rate", 1.0f64);
         let j = m.to_json();
-        assert_eq!(j.get("schema_version"), Some(&Json::Int(2)));
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(3)));
         assert_eq!(j.get("experiment"), Some(&Json::Str("e0_test".into())));
         // The environment-dependent fields exist and are sane.
         assert!(matches!(j.get("threads"), Some(&Json::Int(n)) if n >= 1));
+        assert!(matches!(j.get("dpor"), Some(&Json::Bool(_))));
         assert!(matches!(j.get("wall_ns"), Some(&Json::Int(_))));
         assert_eq!(
             j.get("params").and_then(|p| p.get("seeds")),
@@ -154,7 +162,7 @@ mod tests {
         let path = dir.join("e0_write_test.json");
         std::fs::write(&path, m.to_json().render_pretty()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("{\n  \"schema_version\": 2,\n"));
+        assert!(text.starts_with("{\n  \"schema_version\": 3,\n"));
         assert!(text.ends_with("\n"));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -5,22 +5,24 @@
 //! formatting) so an accidental schema change fails loudly. Bump
 //! `SCHEMA_VERSION` — and this snapshot — on intentional changes.
 //!
-//! The v2 fields `threads` and `wall_ns` depend on the host and the
-//! clock, so the snapshots normalize them (to fixed values, in place —
-//! `Json::set` replaces without reordering) before comparing.
+//! The fields `threads`, `dpor`, and `wall_ns` depend on the host, the
+//! environment, and the clock, so the snapshots normalize them (to
+//! fixed values, in place — `Json::set` replaces without reordering)
+//! before comparing.
 
 use compass_bench::metrics::{Metrics, SCHEMA_VERSION};
 use orc11::Json;
 
 #[test]
 fn schema_version_is_stable() {
-    assert_eq!(SCHEMA_VERSION, 2);
+    assert_eq!(SCHEMA_VERSION, 3);
 }
 
 /// Pins the environment-dependent fields to snapshot-stable values.
 fn normalized(m: &Metrics) -> String {
     m.to_json()
         .set("threads", 4u64)
+        .set("dpor", false)
         .set("wall_ns", 0u64)
         .render_pretty()
 }
@@ -38,9 +40,10 @@ fn rendered_document_matches_snapshot() {
         Json::arr().push(Json::obj().set("n", 1u64).set("mismatches", 0u64)),
     );
     let expected = r#"{
-  "schema_version": 2,
+  "schema_version": 3,
   "experiment": "e0_snapshot",
   "threads": 4,
+  "dpor": false,
   "wall_ns": 0,
   "params": {
     "seeds": 100,
@@ -66,9 +69,10 @@ fn rendered_document_matches_snapshot() {
 fn empty_params_and_data_render_as_empty_objects() {
     let m = Metrics::new("e0_empty");
     let expected = r#"{
-  "schema_version": 2,
+  "schema_version": 3,
   "experiment": "e0_empty",
   "threads": 4,
+  "dpor": false,
   "wall_ns": 0,
   "params": {},
   "data": {}

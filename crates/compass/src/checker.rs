@@ -19,8 +19,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use orc11::{
-    dfs_strategy, pct_strategy, random_strategy, Coverage, ExecStats, Explorer, Json, OpRecord,
-    RunOutcome, Sink, StepHistogram, Strategy, StrategyDesc, WorkSpec,
+    dfs_strategy, pct_strategy, random_strategy, Coverage, DporStats, ExecStats, Explorer, Json,
+    OpRecord, RunOutcome, Sink, StepHistogram, Strategy, StrategyDesc, WorkSpec,
 };
 
 use crate::bundle;
@@ -59,8 +59,18 @@ pub enum Exploration {
         /// Number of priority-change points.
         depth: usize,
     },
-    /// Bounded-exhaustive DFS with an execution budget.
+    /// Bounded-exhaustive DFS with an execution budget. Whether the
+    /// enumeration is DPOR-pruned follows the `COMPASS_DPOR` environment
+    /// variable (see [`WorkSpec::dfs`]); use [`Exploration::DfsDpor`] or
+    /// [`CheckOptions::dpor`] to force it in code.
     Dfs {
+        /// Maximum executions before giving up on exhausting the tree.
+        budget: u64,
+    },
+    /// Bounded-exhaustive DFS with DPOR pruning (see `orc11::dpor`):
+    /// explores a sound subset of [`Exploration::Dfs`]'s executions
+    /// covering the same distinct behaviours and violations.
+    DfsDpor {
         /// Maximum executions before giving up on exhausting the tree.
         budget: u64,
     },
@@ -81,7 +91,8 @@ impl Exploration {
                 depth,
                 horizon: PCT_HORIZON,
             },
-            Exploration::Dfs { budget } => WorkSpec::Dfs { budget },
+            Exploration::Dfs { budget } => WorkSpec::dfs(budget),
+            Exploration::DfsDpor { budget } => WorkSpec::DfsDpor { budget },
         }
     }
 }
@@ -209,6 +220,11 @@ pub struct CheckOptions {
     /// Cap on the model errors the underlying exploration keeps verbatim
     /// (the counts stay exact); default [`orc11::DEFAULT_MAX_ERRORS`].
     pub max_errors: usize,
+    /// Forces DPOR pruning on (`Some(true)`) or off (`Some(false)`) for
+    /// DFS explorations, overriding both the [`Exploration`] variant and
+    /// the `COMPASS_DPOR` environment variable; `None` (the default)
+    /// keeps whatever the exploration says. No effect on random/PCT.
+    pub dpor: Option<bool>,
 }
 
 impl Default for CheckOptions {
@@ -218,6 +234,7 @@ impl Default for CheckOptions {
             progress: false,
             threads: 0,
             max_errors: orc11::DEFAULT_MAX_ERRORS,
+            dpor: None,
         }
     }
 }
@@ -254,6 +271,13 @@ pub struct CheckReport {
     pub model_errors: u64,
     /// For DFS: whether the schedule tree was exhausted.
     pub exhausted: bool,
+    /// For DFS: whether the execution budget cut the enumeration short.
+    /// A truncated parallel run explores a thread-count-dependent subset
+    /// of the tree, so its counts are not comparable across thread
+    /// counts (see `orc11::ExploreReport::truncated`).
+    pub truncated: bool,
+    /// DPOR pruning counters, when the exploration used DPOR.
+    pub dpor: Option<DporStats>,
     /// Model-instruction counters summed over all executions.
     pub stats: ExecStats,
     /// Distribution of model instructions per execution.
@@ -308,6 +332,14 @@ impl CheckReport {
             .set("consistent", self.consistent)
             .set("model_errors", self.model_errors)
             .set("exhausted", self.exhausted)
+            .set("truncated", self.truncated)
+            .set(
+                "dpor",
+                match &self.dpor {
+                    Some(d) => d.to_json(),
+                    None => Json::Null,
+                },
+            )
             .set("violations", violations)
             .set(
                 "samples",
@@ -560,7 +592,10 @@ pub fn check_executions_with<G: CheckTarget>(
     program: impl Fn(Box<dyn Strategy>) -> RunOutcome<G> + Send + Sync,
     check: impl Fn(&G) -> Result<(), Violation> + Sync,
 ) -> CheckReport {
-    let spec = exploration.work_spec();
+    let spec = match opts.dpor {
+        Some(on) => exploration.work_spec().with_dpor(on),
+        None => exploration.work_spec(),
+    };
     let progress = Progress::new(opts.progress, spec.total());
     // Discard search counters a previous caller on this thread left
     // behind, so a serial (inline) run only sees its own checks.
@@ -577,6 +612,8 @@ pub fn check_executions_with<G: CheckTarget>(
         execs: base.execs,
         model_errors: base.error_count,
         exhausted: base.exhausted,
+        truncated: base.truncated,
+        dpor: base.dpor,
         stats: base.stats,
         steps_hist: base.steps_hist,
         coverage: base.coverage,
@@ -803,6 +840,8 @@ mod tests {
             "consistent",
             "model_errors",
             "exhausted",
+            "truncated",
+            "dpor",
             "violations",
             "samples",
             "stats",

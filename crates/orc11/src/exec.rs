@@ -17,6 +17,7 @@
 //! deterministic function of the strategy's choices — the basis for replay
 //! and exhaustive exploration.
 
+use std::cell::Cell;
 use std::collections::BTreeSet;
 use std::fmt;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -24,6 +25,7 @@ use std::sync::Arc;
 
 use crate::sync::{Condvar, Mutex};
 
+use crate::dpor::{Access, AccessKind, StepAccess, CANDIDATES_UNKNOWN};
 use crate::error::ModelError;
 use crate::frontier::Frontier;
 use crate::memory::Memory;
@@ -86,6 +88,19 @@ struct ExecState {
     ops: Option<Vec<OpRecord>>,
     /// Always-on instruction counters (see [`crate::stats`]).
     stats: ExecStats,
+    /// Access summary of the instruction currently executing — written by
+    /// the operation's closure, consumed by `with_step` (see
+    /// [`crate::dpor`]).
+    cur_kind: AccessKind,
+    /// Whether the current instruction's commit continuation touched
+    /// ghost state.
+    cur_ghost: bool,
+    /// Trace index and selectable-thread bitmask of the [`ChoiceKind::Thread`]
+    /// decision that scheduled the instruction about to execute; `None`
+    /// when only one thread was selectable (no decision recorded).
+    pending_decision: Option<(u32, u64)>,
+    /// Per-body-instruction access summaries (see [`RunOutcome::accesses`]).
+    accesses: Vec<StepAccess>,
 }
 
 impl ExecState {
@@ -141,6 +156,11 @@ pub struct GhostHandle<'a> {
     tv: &'a mut ThreadView,
     step: u64,
     tid: ThreadId,
+    /// Flips when the continuation reads or extends ghost state or
+    /// observes the step index — the signal that this instruction is a
+    /// commit point, which the DPOR conflict relation treats as
+    /// conflicting with every other commit point (see [`crate::dpor`]).
+    used: Cell<bool>,
 }
 
 impl fmt::Debug for GhostHandle<'_> {
@@ -156,11 +176,13 @@ impl GhostHandle<'_> {
     /// The thread's current ghost event set for `key` — at a commit point
     /// this is the set of `key`'s events that happen before the commit.
     pub fn ghost(&self, key: u64) -> BTreeSet<u64> {
+        self.used.set(true);
         self.tv.cur.ghost.get(key)
     }
 
     /// Adds event `id` to the thread's current ghost set for `key`.
     pub fn ghost_add(&mut self, key: u64, id: u64) {
+        self.used.set(true);
         self.tv.cur.ghost.insert(key, id);
         self.tv.acq.ghost.insert(key, id);
     }
@@ -168,6 +190,7 @@ impl GhostHandle<'_> {
     /// The global step index of the instruction being executed. Strictly
     /// monotone across the execution; usable as a commit order.
     pub fn step_index(&self) -> u64 {
+        self.used.set(true);
         self.step
     }
 
@@ -204,6 +227,11 @@ pub struct RunOutcome<R> {
     pub ops: Vec<OpRecord>,
     /// Instruction counters for this execution (always recorded).
     pub stats: ExecStats,
+    /// Per-body-instruction access summaries (one entry per turnstile
+    /// instruction, in execution order), linking each instruction to the
+    /// scheduling decision that ran it. Consumed by the DPOR layer
+    /// (see [`crate::dpor`]); setup/finish instructions are not recorded.
+    pub accesses: Vec<StepAccess>,
 }
 
 fn panic_msg(p: Box<dyn std::any::Any + Send>) -> String {
@@ -258,6 +286,21 @@ fn maybe_decide(st: &mut ExecState) {
     } else {
         let i = st.strategy.choose_thread(&selectable);
         assert!(i < selectable.len(), "strategy returned out-of-range index");
+        // Remember which trace entry scheduled the next instruction and
+        // which threads were selectable, for the DPOR access summary.
+        let mut mask: u64 = 0;
+        let mut overflow = false;
+        for &t in &selectable {
+            if t < 64 {
+                mask |= 1 << t;
+            } else {
+                overflow = true;
+            }
+        }
+        st.pending_decision = Some((
+            st.trace.len() as u32,
+            if overflow { CANDIDATES_UNKNOWN } else { mask },
+        ));
         st.trace.push(Choice {
             kind: ChoiceKind::Thread,
             chosen: i as u32,
@@ -312,8 +355,31 @@ impl ThreadCtx {
             drop(st);
             std::panic::panic_any(ModelAbort);
         }
+        let decision = st.pending_decision.take();
+        let trace_start = st.trace.len() as u32;
+        st.cur_kind = AccessKind::Other;
+        st.cur_ghost = false;
         let res = f(&mut st, tid);
         if !st.solo {
+            // Record the access summary even when the instruction aborted
+            // the execution: DPOR only ever uses summaries to *add*
+            // backtrack points, so including an aborting access is the
+            // conservative choice.
+            let (d, candidates) = match decision {
+                Some((d, m)) => (Some(d), m),
+                None => (None, 0),
+            };
+            let access = Access {
+                tid,
+                kind: st.cur_kind,
+                ghost: st.cur_ghost,
+            };
+            st.accesses.push(StepAccess {
+                access,
+                decision: d,
+                candidates,
+                trace_start,
+            });
             st.current = None;
             st.threads[tid].arrived = false;
         }
@@ -334,6 +400,7 @@ impl ThreadCtx {
     /// Allocates a fresh location named `name`, initialized to `init`.
     pub fn alloc(&mut self, name: &str, init: Val) -> Loc {
         self.with_step(None, |st, tid| {
+            st.cur_kind = AccessKind::Alloc;
             let loc = {
                 let ExecState {
                     memory, threads, ..
@@ -351,6 +418,7 @@ impl ThreadCtx {
     pub fn alloc_block(&mut self, name: &str, inits: &[Val]) -> Loc {
         let n = inits.len() as u32;
         self.with_step(None, |st, tid| {
+            st.cur_kind = AccessKind::Alloc;
             let loc = {
                 let ExecState {
                     memory, threads, ..
@@ -374,6 +442,7 @@ impl ThreadCtx {
     pub fn alloc_block_atomic(&mut self, name: &str, inits: &[Val]) -> Loc {
         let n = inits.len() as u32;
         self.with_step(None, |st, tid| {
+            st.cur_kind = AccessKind::Alloc;
             let loc = {
                 let ExecState {
                     memory, threads, ..
@@ -394,6 +463,10 @@ impl ThreadCtx {
         k: impl FnOnce(Val, &mut GhostHandle) -> T,
     ) -> (Val, T) {
         self.with_step(waiting, |st, tid| {
+            st.cur_kind = AccessKind::Read {
+                loc,
+                atomic: mode.is_atomic(),
+            };
             let step = st.steps;
             let ExecState {
                 memory,
@@ -422,14 +495,17 @@ impl ThreadCtx {
                 .map_err(ModelError::Race)?;
             let (val, ts) = got
                 .expect("scheduled read_await must have a candidate; plain reads always have one");
-            let t = {
+            let (t, ghost_used) = {
                 let mut gh = GhostHandle {
                     tv: &mut threads[tid].tv,
                     step,
                     tid,
+                    used: Cell::new(false),
                 };
-                k(val, &mut gh)
+                let t = k(val, &mut gh);
+                (t, gh.used.get())
             };
+            st.cur_ghost = ghost_used;
             let awaited = pred.is_some();
             st.stats.reads.bump(mode);
             st.stats.awaited_reads += u64::from(awaited);
@@ -527,16 +603,28 @@ impl ThreadCtx {
         k: impl FnOnce(&mut GhostHandle) -> T,
     ) -> T {
         self.with_step(None, |st, tid| {
+            st.cur_kind = AccessKind::Write {
+                loc,
+                atomic: mode.is_atomic(),
+            };
             let step = st.steps;
             let ExecState {
                 memory, threads, ..
             } = st;
-            let (ts, t) = memory
+            let (ts, (t, ghost_used)) = memory
                 .write(tid, &mut threads[tid].tv, loc, val, mode, |tv| {
-                    let mut gh = GhostHandle { tv, step, tid };
-                    k(&mut gh)
+                    let mut gh = GhostHandle {
+                        tv,
+                        step,
+                        tid,
+                        used: Cell::new(false),
+                    };
+                    let t = k(&mut gh);
+                    let used = gh.used.get();
+                    (t, used)
                 })
                 .map_err(ModelError::Race)?;
+            st.cur_ghost = ghost_used;
             st.stats.writes.bump(mode);
             st.record(tid, Some(loc), OpKindRecord::Write { mode, val, ts });
             Ok(t)
@@ -546,6 +634,9 @@ impl ThreadCtx {
     /// Issues a fence.
     pub fn fence(&mut self, mode: FenceMode) {
         self.with_step(None, |st, tid| {
+            st.cur_kind = AccessKind::Fence {
+                sc: mode == FenceMode::SeqCst,
+            };
             if mode == FenceMode::SeqCst {
                 let ExecState { threads, sc, .. } = st;
                 threads[tid].tv.sc_fence(sc);
@@ -601,12 +692,13 @@ impl ThreadCtx {
         k: impl FnOnce(&OpResult, &mut GhostHandle) -> T,
     ) -> (Val, bool, T) {
         self.with_step(None, |st, tid| {
+            st.cur_kind = AccessKind::Rmw { loc };
             let step = st.steps;
-            let (old, ts, t, new) = {
+            let (old, ts, t, ghost_used, new) = {
                 let ExecState {
                     memory, threads, ..
                 } = st;
-                let (old, ts, t) = memory
+                let (old, ts, (t, ghost_used)) = memory
                     .rmw(
                         tid,
                         &mut threads[tid].tv,
@@ -615,20 +707,28 @@ impl ThreadCtx {
                         ok_mode,
                         fail_mode,
                         |pre, tv| {
-                            let mut gh = GhostHandle { tv, step, tid };
-                            k(
+                            let mut gh = GhostHandle {
+                                tv,
+                                step,
+                                tid,
+                                used: Cell::new(false),
+                            };
+                            let t = k(
                                 &OpResult {
                                     old: pre.old,
                                     new: pre.new,
                                 },
                                 &mut gh,
-                            )
+                            );
+                            let used = gh.used.get();
+                            (t, used)
                         },
                     )
                     .map_err(ModelError::Race)?;
                 let new = ts.map(|_| memory.peek_latest(loc));
-                (old, ts, t, new)
+                (old, ts, t, ghost_used, new)
             };
+            st.cur_ghost = ghost_used;
             st.stats.rmws.bump(ok_mode);
             st.stats.failed_cas += u64::from(new.is_none());
             st.record(
@@ -821,6 +921,10 @@ where
             sc: Frontier::new(),
             ops: cfg.record_ops.then(Vec::new),
             stats: ExecStats::default(),
+            cur_kind: AccessKind::Other,
+            cur_ghost: false,
+            pending_decision: None,
+            accesses: Vec::new(),
         }),
         cv: Condvar::new(),
     });
@@ -836,6 +940,7 @@ where
             trace: st.trace.clone(),
             ops,
             stats: st.stats,
+            accesses: std::mem::take(&mut st.accesses),
         }
     };
 

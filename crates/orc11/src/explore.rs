@@ -49,6 +49,12 @@ pub struct ExploreReport {
     /// For DFS: whether the decision tree was fully explored within the
     /// execution budget.
     pub exhausted: bool,
+    /// For DFS: whether the execution budget cut the enumeration short.
+    /// A truncated run visits a worker-schedule-dependent subset of the
+    /// tree, so its counts are not comparable across thread counts.
+    pub truncated: bool,
+    /// DPOR pruning counters ([`crate::WorkSpec::DfsDpor`] runs only).
+    pub dpor: Option<crate::stats::DporStats>,
     /// Total model steps across all executions.
     pub total_steps: u64,
     /// Instruction counters summed over all executions.
@@ -76,6 +82,8 @@ impl ExploreReport {
             error_count: 0,
             max_errors,
             exhausted: false,
+            truncated: false,
+            dpor: None,
             total_steps: 0,
             stats: Default::default(),
             steps_hist: Default::default(),
@@ -115,6 +123,12 @@ impl ExploreReport {
         self.ok += other.ok;
         self.error_count += other.error_count;
         self.exhausted |= other.exhausted;
+        self.truncated |= other.truncated;
+        match (&mut self.dpor, other.dpor) {
+            (Some(mine), Some(theirs)) => mine.merge(&theirs),
+            (mine @ None, theirs) => *mine = theirs,
+            (Some(_), None) => {}
+        }
         self.total_steps += other.total_steps;
         self.stats.merge(&other.stats);
         self.steps_hist.merge(&other.steps_hist);
@@ -132,6 +146,14 @@ impl ExploreReport {
             .set("ok", self.ok)
             .set("error_count", self.error_count)
             .set("exhausted", self.exhausted)
+            .set("truncated", self.truncated)
+            .set(
+                "dpor",
+                match &self.dpor {
+                    Some(d) => d.to_json(),
+                    None => crate::Json::Null,
+                },
+            )
             .set("total_steps", self.total_steps)
             .set("stats", self.stats.to_json())
             .set("steps_hist", self.steps_hist.to_json())
@@ -285,13 +307,31 @@ impl Explorer {
     /// execution (under the model's scheduler granularity) has been
     /// visited. Programs must be deterministic apart from the strategy's
     /// decisions.
+    ///
+    /// The `COMPASS_DPOR` environment variable switches DPOR pruning on
+    /// for this entry point (see [`WorkSpec::dfs`]); use
+    /// [`Explorer::dfs_dpor`] or [`Explorer::explore`] with an explicit
+    /// [`WorkSpec`] to force one behaviour.
     pub fn dfs<M: Model>(
         &self,
         max_execs: u64,
         model: M,
         on: impl Fn(&StrategyDesc, &RunOutcome<M::Out>) + Sync,
     ) -> ExploreReport {
-        self.explore(&WorkSpec::Dfs { budget: max_execs }, &model, on)
+        self.explore(&WorkSpec::dfs(max_execs), &model, on)
+    }
+
+    /// [`Explorer::dfs`] with dynamic partial-order reduction: visits a
+    /// conflict-complete subset of the decision tree covering the same
+    /// distinct behaviours in (often far) fewer executions — see
+    /// [`crate::dpor`].
+    pub fn dfs_dpor<M: Model>(
+        &self,
+        max_execs: u64,
+        model: M,
+        on: impl Fn(&StrategyDesc, &RunOutcome<M::Out>) + Sync,
+    ) -> ExploreReport {
+        self.explore(&WorkSpec::DfsDpor { budget: max_execs }, &model, on)
     }
 
     /// The unified driver all modes reduce to: runs `spec` over `model`,
@@ -474,6 +514,7 @@ mod tests {
                 horizon: DEFAULT_PCT_HORIZON,
             },
             WorkSpec::Dfs { budget: 10_000 },
+            WorkSpec::DfsDpor { budget: 10_000 },
         ] {
             let serial = Explorer::serial().explore(&spec, &sb, |_, _| {});
             let parallel = Explorer::with_threads(4).explore(&spec, &sb, |_, _| {});

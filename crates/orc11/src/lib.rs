@@ -70,6 +70,7 @@
 #![warn(missing_debug_implementations)]
 
 mod clock;
+pub mod dpor;
 mod error;
 mod exec;
 mod explore;
@@ -93,6 +94,7 @@ mod view;
 mod work;
 
 pub use clock::VecClock;
+pub use dpor::{conflicts, dpor_from_env, Access, AccessKind, StepAccess};
 pub use error::{ModelError, RaceInfo};
 pub use exec::{run_model, BodyFn, Config, GhostHandle, OpResult, RunOutcome, ThreadCtx};
 pub use explore::{ExploreReport, Explorer, DEFAULT_MAX_ERRORS, DEFAULT_PCT_HORIZON};
@@ -109,7 +111,7 @@ pub use sched::{
     dfs_strategy, next_dfs_prefix, pct_strategy, random_strategy, replay_strategy, Choice,
     ChoiceKind, DfsStrategy, PctStrategy, RandomStrategy, Strategy,
 };
-pub use stats::{Coverage, ExecStats, StepHistogram};
+pub use stats::{Coverage, DporStats, ExecStats, StepHistogram};
 pub use tview::ThreadView;
 pub use val::{Loc, ThreadId, Val};
 pub use view::{Timestamp, View};

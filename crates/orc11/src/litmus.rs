@@ -127,9 +127,22 @@ impl<S: Sync + 'static> Litmus<S> {
         )
     }
 
-    /// Exhaustive exploration up to `max_execs` executions.
+    /// Exhaustive exploration up to `max_execs` executions, with DPOR
+    /// pruning switched by the `COMPASS_DPOR` environment variable (see
+    /// [`crate::WorkSpec::dfs`]).
     pub fn dfs(&self, max_execs: u64) -> LitmusReport {
+        self.explore(&crate::WorkSpec::dfs(max_execs))
+    }
+
+    /// Plain exhaustive DFS, ignoring `COMPASS_DPOR`.
+    pub fn dfs_plain(&self, max_execs: u64) -> LitmusReport {
         self.explore(&crate::WorkSpec::Dfs { budget: max_execs })
+    }
+
+    /// DPOR-pruned exhaustive DFS (see [`crate::dpor`]), ignoring
+    /// `COMPASS_DPOR`.
+    pub fn dfs_dpor(&self, max_execs: u64) -> LitmusReport {
+        self.explore(&crate::WorkSpec::DfsDpor { budget: max_execs })
     }
 
     /// Random exploration over `iters` seeds.

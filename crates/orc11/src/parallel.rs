@@ -12,11 +12,14 @@
 //!
 //! ## Determinism guarantee
 //!
-//! For random/PCT (fixed seed set) and for DFS runs that exhaust their
-//! tree within budget, [`ExploreReport::to_json`] is byte-identical for
-//! every thread count, including 1. A DFS run that hits its budget
-//! explores a thread-count-dependent *subset* of the tree; counts may
-//! then differ (exactly as two different serial budgets would).
+//! For random/PCT (fixed seed set) and for DFS runs — plain or
+//! DPOR-pruned — that exhaust their tree within budget,
+//! [`ExploreReport::to_json`] is byte-identical for every thread count,
+//! including 1. A DFS run that hits its budget explores a
+//! thread-count-dependent *subset* of the tree; counts may then differ
+//! (exactly as two different serial budgets would), and the report says
+//! so via [`ExploreReport::truncated`] so consumers never mistake a cut
+//! tree for a comparable one.
 
 use crate::exec::RunOutcome;
 use crate::explore::ExploreReport;
@@ -86,7 +89,7 @@ where
             let out = model.run(desc.strategy());
             // Feed the frontier before the (possibly slow) sink runs, so
             // sibling workers are never starved by a long check.
-            source.complete(&desc, &out.trace);
+            source.complete(&desc, &out.trace, &out.accesses);
             guard.disarm();
             if let StrategyDesc::Dfs { prefix } = &desc {
                 report
@@ -150,5 +153,7 @@ where
         sinks.push(sink);
     }
     merged.exhausted = source.exhausted();
+    merged.truncated = source.truncated();
+    merged.dpor = source.dpor_stats();
     (merged, sinks)
 }

@@ -338,6 +338,56 @@ impl fmt::Display for StepHistogram {
     }
 }
 
+/// Pruning counters of a DPOR-enabled DFS exploration (see
+/// [`crate::dpor`]).
+///
+/// Like the rest of an exploration report these are a deterministic
+/// function of the work specification: the explored tree is the least
+/// fixpoint of the backtrack demands, every execution's demands are a
+/// pure function of that execution alone, and each counter below is a
+/// function of the fixpoint — so the numbers are byte-identical at any
+/// worker count.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct DporStats {
+    /// Backtrack points added: sibling prefixes pushed onto the DFS
+    /// frontier because a conflict demanded the reversal.
+    pub backtrack_points: u64,
+    /// Sleep-set hits: demanded reversals that were already explored (or
+    /// already scheduled), so no new work was pushed.
+    pub sleep_hits: u64,
+    /// Subtrees skipped: thread-choice siblings plain DFS would have
+    /// enumerated that no conflict ever demanded.
+    pub pruned_subtrees: u64,
+}
+
+impl DporStats {
+    /// Adds `other` into `self`.
+    pub fn merge(&mut self, other: &DporStats) {
+        self.backtrack_points += other.backtrack_points;
+        self.sleep_hits += other.sleep_hits;
+        self.pruned_subtrees += other.pruned_subtrees;
+    }
+
+    /// Machine-readable form (see `EXPERIMENTS.md`, "Partial-order
+    /// reduction", for the schema).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("backtrack_points", self.backtrack_points)
+            .set("sleep_hits", self.sleep_hits)
+            .set("pruned_subtrees", self.pruned_subtrees)
+    }
+}
+
+impl fmt::Display for DporStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} backtrack points, {} sleep-set hits, {} subtrees pruned",
+            self.backtrack_points, self.sleep_hits, self.pruned_subtrees
+        )
+    }
+}
+
 /// Schedule-coverage tracking: how much of the interleaving space an
 /// exploration actually visited.
 #[derive(Clone, Debug, Default)]

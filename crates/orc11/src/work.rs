@@ -18,7 +18,9 @@
 //! many threads it visits the same *set*, which is why exhaustive
 //! parallel reports can be byte-identical to serial ones.
 
+use crate::dpor::{analyze, dpor_from_env, DporState, StepAccess};
 use crate::sched::{dfs_strategy, pct_strategy, random_strategy, Choice, Strategy};
+use crate::stats::DporStats;
 use crate::sync::{Condvar, Mutex};
 use std::fmt;
 
@@ -109,15 +111,42 @@ pub enum WorkSpec {
         /// Maximum executions before giving up on exhausting the tree.
         budget: u64,
     },
+    /// Bounded-exhaustive DFS pruned by dynamic partial-order reduction
+    /// (see [`crate::dpor`]): visits a sound subset of [`WorkSpec::Dfs`]'s
+    /// executions covering the same set of distinct behaviours.
+    DfsDpor {
+        /// Maximum executions before giving up on exhausting the tree.
+        budget: u64,
+    },
 }
 
 impl WorkSpec {
+    /// Bounded-exhaustive DFS with an execution budget, with DPOR pruning
+    /// switched by the `COMPASS_DPOR` environment variable (set and not
+    /// `0` → [`WorkSpec::DfsDpor`]). This is the constructor the generic
+    /// entry points ([`crate::Explorer::dfs`], `Litmus::dfs`, the
+    /// checker's `Exploration::Dfs`) use, so one env var flips a whole
+    /// test suite; build the variants directly to force one behaviour.
+    pub fn dfs(budget: u64) -> Self {
+        WorkSpec::Dfs { budget }.with_dpor(dpor_from_env())
+    }
+
+    /// Switches DPOR pruning on or off (no-op for seed-based specs).
+    #[must_use]
+    pub fn with_dpor(self, on: bool) -> Self {
+        match (self, on) {
+            (WorkSpec::Dfs { budget }, true) => WorkSpec::DfsDpor { budget },
+            (WorkSpec::DfsDpor { budget }, false) => WorkSpec::Dfs { budget },
+            (spec, _) => spec,
+        }
+    }
+
     /// Upper bound on the number of executions this spec will perform
     /// (used for progress reporting).
     pub fn total(&self) -> u64 {
         match *self {
             WorkSpec::Random { iters, .. } | WorkSpec::Pct { iters, .. } => iters,
-            WorkSpec::Dfs { budget } => budget,
+            WorkSpec::Dfs { budget } | WorkSpec::DfsDpor { budget } => budget,
         }
     }
 }
@@ -158,6 +187,9 @@ enum State {
         /// still push new prefixes, so an empty frontier with `active >
         /// 0` means "wait", not "done".
         active: usize,
+        /// `Some` when DPOR pruning is on: the shared sleep sets and
+        /// pruning counters (see [`crate::dpor`]).
+        dpor: Option<DporState>,
     },
 }
 
@@ -171,6 +203,10 @@ enum State {
 pub struct WorkSource {
     state: Mutex<State>,
     available: Condvar,
+    /// Whether the spec uses DPOR — immutable, so workers can run the
+    /// O(trace²) race analysis of [`WorkSource::complete`] outside the
+    /// lock.
+    dpor: bool,
 }
 
 impl WorkSource {
@@ -197,11 +233,20 @@ impl WorkSource {
                 issued: 0,
                 budget,
                 active: 0,
+                dpor: None,
+            },
+            WorkSpec::DfsDpor { budget } => State::Dfs {
+                frontier: vec![Vec::new()],
+                issued: 0,
+                budget,
+                active: 0,
+                dpor: Some(DporState::default()),
             },
         };
         WorkSource {
             state: Mutex::new(state),
             available: Condvar::new(),
+            dpor: matches!(spec, WorkSpec::DfsDpor { .. }),
         }
     }
 
@@ -227,6 +272,7 @@ impl WorkSource {
                     issued,
                     budget,
                     active,
+                    ..
                 } => {
                     if *issued >= *budget {
                         return None;
@@ -245,30 +291,51 @@ impl WorkSource {
         }
     }
 
-    /// Reports a claimed execution's recorded trace back to the source.
+    /// Reports a claimed execution's recorded trace (and access
+    /// summaries) back to the source.
     ///
-    /// For DFS this performs the *sibling expansion*: for every decision
-    /// on the path past the forced prefix (where the strategy defaulted
-    /// to alternative 0), the unexplored alternatives are pushed as new
-    /// forced prefixes — deepest decision on top, smallest alternative
-    /// first, which is exactly recursive DFS order when there is a
-    /// single worker. Every leaf's canonical prefix is pushed exactly
-    /// once, so the visited set does not depend on worker count.
-    pub fn complete(&self, desc: &StrategyDesc, trace: &[Choice]) {
+    /// For plain DFS this performs the *sibling expansion*: for every
+    /// decision on the path past the forced prefix (where the strategy
+    /// defaulted to alternative 0), the unexplored alternatives are
+    /// pushed as new forced prefixes — deepest decision on top, smallest
+    /// alternative first, which is exactly recursive DFS order when there
+    /// is a single worker. Every leaf's canonical prefix is pushed
+    /// exactly once, so the visited set does not depend on worker count.
+    ///
+    /// Under DPOR ([`WorkSpec::DfsDpor`]) thread-choice siblings are
+    /// instead pushed on demand, when a conflict between the execution's
+    /// instructions requires the reversal (see
+    /// [`crate::dpor`]); `accesses` must then be the execution's
+    /// [`crate::RunOutcome::accesses`].
+    pub fn complete(&self, desc: &StrategyDesc, trace: &[Choice], accesses: &[StepAccess]) {
         let StrategyDesc::Dfs { prefix } = desc else {
             return;
         };
+        // The race analysis is O(trace² · threads) and pure, so run it
+        // before taking the lock: workers analyse their own executions
+        // concurrently and only serialize to apply the demands.
+        let analysis = self.dpor.then(|| analyze(trace, accesses));
         let mut st = self.state.lock();
         if let State::Dfs {
-            frontier, active, ..
+            frontier,
+            active,
+            dpor,
+            ..
         } = &mut *st
         {
-            for d in prefix.len()..trace.len() {
-                let c = trace[d];
-                for a in (c.chosen + 1..c.arity).rev() {
-                    let mut p: Vec<u32> = trace[..d].iter().map(|c| c.chosen).collect();
-                    p.push(a);
-                    frontier.push(p);
+            match (dpor, &analysis) {
+                (Some(dpor), Some(analysis)) => {
+                    dpor.on_complete(prefix.len(), trace, analysis, frontier)
+                }
+                _ => {
+                    for d in prefix.len()..trace.len() {
+                        let c = trace[d];
+                        for a in (c.chosen + 1..c.arity).rev() {
+                            let mut p: Vec<u32> = trace[..d].iter().map(|c| c.chosen).collect();
+                            p.push(a);
+                            frontier.push(p);
+                        }
+                    }
                 }
             }
             *active -= 1;
@@ -296,6 +363,38 @@ impl WorkSource {
             State::Dfs {
                 frontier, active, ..
             } => frontier.is_empty() && *active == 0,
+        }
+    }
+
+    /// Whether the DFS execution budget cut the enumeration short —
+    /// i.e. the budget was consumed while unexplored prefixes remained.
+    /// Always `false` for seed-based specs (they enumerate a fixed seed
+    /// range). Meaningful once all workers have returned.
+    ///
+    /// A truncated DFS visits a worker-schedule-dependent subset of the
+    /// tree, so reports from truncated runs are *not* comparable across
+    /// thread counts; consumers must check this flag (reported as
+    /// `truncated` in [`crate::ExploreReport`]).
+    pub fn truncated(&self) -> bool {
+        match &*self.state.lock() {
+            State::Seeds { .. } => false,
+            State::Dfs {
+                frontier,
+                issued,
+                budget,
+                active,
+                ..
+            } => *issued >= *budget && !(frontier.is_empty() && *active == 0),
+        }
+    }
+
+    /// The DPOR pruning counters, or `None` when the spec does not use
+    /// DPOR. Deterministic across worker counts once all workers have
+    /// returned (see [`crate::dpor`]).
+    pub fn dpor_stats(&self) -> Option<DporStats> {
+        match &*self.state.lock() {
+            State::Seeds { .. } => None,
+            State::Dfs { dpor, .. } => dpor.as_ref().map(|d| d.stats),
         }
     }
 
@@ -382,7 +481,7 @@ mod tests {
                 };
                 let trace = run_tree(prefix.clone());
                 visited.push((trace[0].chosen, trace[1].chosen));
-                source.complete(&desc, &trace);
+                source.complete(&desc, &trace, &[]);
             }
         }
         assert_eq!(visited, reference);
@@ -400,7 +499,7 @@ mod tests {
                 };
                 let trace = run_tree(prefix.clone());
                 n += 1;
-                source.complete(&desc, &trace);
+                source.complete(&desc, &trace, &[]);
             }
         }
         assert_eq!(n, 3);

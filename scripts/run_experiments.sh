@@ -17,10 +17,25 @@ done
 echo "E11/E12 run as integration tests:"
 cargo test --release --test flexibility -- --nocapture | tee "$out/e11_e12.txt"
 
+# Aggregate the DPOR pruning counters across the litmus gallery (E8 runs
+# every test both plain and DPOR-pruned and records the per-test numbers).
+pruning='null'
+if command -v python3 >/dev/null 2>&1 && [ -f "$out/e8_litmus.json" ]; then
+  pruning=$(python3 - "$out/e8_litmus.json" <<'PY'
+import json, sys
+tests = json.load(open(sys.argv[1]))["data"]["tests"]
+tot = {k: sum(t[k] for t in tests.values())
+       for k in ("plain_execs", "dpor_execs", "dpor_backtrack_points",
+                 "dpor_sleep_hits", "dpor_pruned_subtrees")}
+print(json.dumps(tot, separators=(", ", ": ")))
+PY
+)
+fi
+
 # Collect the per-experiment metrics into one summary document.
 summary="$out/summary.json"
 {
-  printf '{\n  "schema_version": 2,\n  "experiments": [\n'
+  printf '{\n  "schema_version": 3,\n  "dpor_pruning": %s,\n  "experiments": [\n' "$pruning"
   first=1
   for exp in "${exps[@]}"; do
     f="$out/$exp.json"

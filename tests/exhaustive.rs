@@ -52,7 +52,12 @@ fn ms_queue_one_enq_one_deq_exhaustive() {
     );
     assert!(report.exhausted, "should exhaust: {report}");
     report.assert_clean();
-    assert!(report.execs > 10, "nontrivial tree: {report}");
+    // Plain DFS sees a nontrivial tree here; under COMPASS_DPOR=1 the
+    // same tree legitimately prunes to a handful of representatives.
+    assert!(
+        report.execs > if report.dpor.is_some() { 1 } else { 10 },
+        "nontrivial tree: {report}"
+    );
 }
 
 #[test]

@@ -49,6 +49,7 @@ fn sb_litmus_reports_are_thread_count_independent() {
             horizon: 16,
         },
         WorkSpec::Dfs { budget: 10_000 },
+        WorkSpec::DfsDpor { budget: 10_000 },
     ] {
         let serial = Explorer::serial().explore(&spec, &sb, |_, _| {});
         let parallel = Explorer::with_threads(4).explore(&spec, &sb, |_, _| {});
@@ -113,6 +114,7 @@ fn buggy_structure_checker_reports_are_thread_count_independent() {
             depth: 3,
         },
         Exploration::Dfs { budget: 400_000 },
+        Exploration::DfsDpor { budget: 400_000 },
     ] {
         let serial = check_buggy_queue(&exploration, 1);
         let parallel = check_buggy_queue(&exploration, 4);
@@ -124,9 +126,58 @@ fn buggy_structure_checker_reports_are_thread_count_independent() {
         // violation attribution and sample selection, not just zeros.
         if !matches!(exploration, Exploration::Random { .. }) {
             assert!(
+                serial.contains("\"truncated\": false"),
+                "an exhaustive DFS run must not be truncated:\n{serial}"
+            );
+            assert!(
                 serial.contains("QUEUE-SO-LHB"),
                 "expected a violation in the compared report:\n{serial}"
             );
         }
     }
+}
+
+/// A DFS budget too small for the tree: the run must say so. A truncated
+/// parallel DFS legitimately visits a thread-count-dependent *subset* of
+/// the tree (each worker races the budget), so the report's counts are
+/// only comparable across thread counts when `truncated` is false — the
+/// flag is what lets consumers tell the two regimes apart.
+#[test]
+fn budget_truncated_dfs_reports_say_truncated() {
+    for spec in [WorkSpec::Dfs { budget: 5 }, WorkSpec::DfsDpor { budget: 5 }] {
+        for threads in [1, 4] {
+            let report = Explorer::with_threads(threads).explore(&spec, &sb, |_, _| {});
+            assert!(
+                report.truncated,
+                "budget 5 cannot exhaust SB ({spec:?}, {threads} threads)"
+            );
+            assert!(!report.exhausted);
+            assert_eq!(report.to_json().get("truncated"), Some(&Json::Bool(true)));
+        }
+        // A sufficient budget at any thread count: not truncated.
+        let report_big = Explorer::with_threads(4).explore(
+            &match spec {
+                WorkSpec::Dfs { .. } => WorkSpec::Dfs { budget: 10_000 },
+                _ => WorkSpec::DfsDpor { budget: 10_000 },
+            },
+            &sb,
+            |_, _| {},
+        );
+        assert!(report_big.exhausted && !report_big.truncated);
+    }
+}
+
+/// Random/PCT runs always perform exactly the requested iterations —
+/// `truncated` is a DFS-only concept and must stay false there.
+#[test]
+fn seed_based_reports_are_never_truncated() {
+    let report = Explorer::with_threads(4).explore(
+        &WorkSpec::Random {
+            iters: 50,
+            seed0: 3,
+        },
+        &sb,
+        |_, _| {},
+    );
+    assert!(!report.truncated);
 }
