@@ -12,6 +12,7 @@
 //! | `e6_sizes` | §1.2 — mechanization-size table analogue |
 //! | `e7_spsc` | §3.2 — SPSC client |
 //! | `e8_litmus` | §2.3/§5 — substrate litmus gallery |
+//! | `e11_conform` | runtime conformance: native structures vs. the specs (DESIGN.md §7) |
 //!
 //! The `benches/` directory holds the performance benchmarks (P1 queues,
 //! P2 stacks, P3 checker throughput, P4 SPSC), built on the in-tree
@@ -19,6 +20,7 @@
 
 #![warn(missing_docs)]
 
+pub mod conform_subjects;
 pub mod metrics;
 pub mod table;
 pub mod timing;

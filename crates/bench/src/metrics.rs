@@ -7,10 +7,11 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 3,
+//!   "schema_version": 4,
 //!   "experiment": "<id>",
 //!   "threads": 4,         // exploration worker threads for this run
 //!   "dpor": false,        // whether COMPASS_DPOR pruned DFS runs
+//!   "conform": false,     // runtime-conformance run (real threads)?
 //!   "wall_ns": 12345678,  // wall-clock from Metrics::new() to to_json()
 //!   "params": { ... },    // run parameters (seed counts, budgets, ...)
 //!   "data": { ... }       // the experiment's measurements
@@ -24,11 +25,17 @@
 //! claim). Schema v3 adds `dpor` (whether the `COMPASS_DPOR` environment
 //! variable switched the run's environment-sensitive DFS explorations to
 //! DPOR pruning — see `orc11::dpor`), resolved at [`Metrics::new`] like
-//! `threads`. `params` and `data` are experiment-specific but always
-//! objects; every count is a JSON integer, every ratio a JSON float (the
-//! in-tree emitter guarantees floats stay float-shaped — see
-//! [`orc11::Json`]). `scripts/run_experiments.sh` collects the
-//! per-experiment files into `experiment-results/summary.json`.
+//! `threads`. Schema v4 adds `conform` ([`Metrics::mark_conform`]):
+//! `true` for runtime-conformance experiments (`e11_conform`), whose
+//! numbers come from real threads on real hardware — `threads` and
+//! `dpor` describe the model-exploration environment and do not apply to
+//! them, and consumers must not average conformance counts with
+//! model-exploration counts. `params` and `data` are
+//! experiment-specific but always objects; every count is a JSON
+//! integer, every ratio a JSON float (the in-tree emitter guarantees
+//! floats stay float-shaped — see [`orc11::Json`]).
+//! `scripts/run_experiments.sh` collects the per-experiment files into
+//! `experiment-results/summary.json`.
 
 use std::io;
 use std::path::PathBuf;
@@ -37,7 +44,7 @@ use std::time::Instant;
 use orc11::Json;
 
 /// The metrics schema version emitted by this crate.
-pub const SCHEMA_VERSION: u64 = 3;
+pub const SCHEMA_VERSION: u64 = 4;
 
 /// Builder for one experiment's metrics file.
 #[derive(Clone, Debug)]
@@ -45,6 +52,7 @@ pub struct Metrics {
     id: String,
     threads: u64,
     dpor: bool,
+    conform: bool,
     start: Instant,
     params: Json,
     data: Json,
@@ -60,10 +68,18 @@ impl Metrics {
             id: id.to_string(),
             threads: orc11::default_threads() as u64,
             dpor: orc11::dpor_from_env(),
+            conform: false,
             start: Instant::now(),
             params: Json::obj(),
             data: Json::obj(),
         }
+    }
+
+    /// Marks this document as a runtime-conformance run (real threads on
+    /// real hardware, `compass::conform`): sets the `conform` field, so
+    /// consumers never average these counts with model-exploration ones.
+    pub fn mark_conform(&mut self) {
+        self.conform = true;
     }
 
     /// Records a run parameter (seed count, budget, ...).
@@ -85,6 +101,7 @@ impl Metrics {
             .set("experiment", self.id.as_str())
             .set("threads", self.threads)
             .set("dpor", self.dpor)
+            .set("conform", self.conform)
             .set("wall_ns", self.start.elapsed().as_nanos() as u64)
             .set("params", self.params.clone())
             .set("data", self.data.clone())
@@ -134,11 +151,15 @@ mod tests {
         m.set("consistent", 100u64);
         m.set("rate", 1.0f64);
         let j = m.to_json();
-        assert_eq!(j.get("schema_version"), Some(&Json::Int(3)));
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(4)));
         assert_eq!(j.get("experiment"), Some(&Json::Str("e0_test".into())));
         // The environment-dependent fields exist and are sane.
         assert!(matches!(j.get("threads"), Some(&Json::Int(n)) if n >= 1));
         assert!(matches!(j.get("dpor"), Some(&Json::Bool(_))));
+        assert_eq!(j.get("conform"), Some(&Json::Bool(false)));
+        let mut conform = Metrics::new("e11_conform");
+        conform.mark_conform();
+        assert_eq!(conform.to_json().get("conform"), Some(&Json::Bool(true)));
         assert!(matches!(j.get("wall_ns"), Some(&Json::Int(_))));
         assert_eq!(
             j.get("params").and_then(|p| p.get("seeds")),
@@ -162,7 +183,7 @@ mod tests {
         let path = dir.join("e0_write_test.json");
         std::fs::write(&path, m.to_json().render_pretty()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("{\n  \"schema_version\": 3,\n"));
+        assert!(text.starts_with("{\n  \"schema_version\": 4,\n"));
         assert!(text.ends_with("\n"));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -15,7 +15,7 @@ use orc11::Json;
 
 #[test]
 fn schema_version_is_stable() {
-    assert_eq!(SCHEMA_VERSION, 3);
+    assert_eq!(SCHEMA_VERSION, 4);
 }
 
 /// Pins the environment-dependent fields to snapshot-stable values.
@@ -40,10 +40,11 @@ fn rendered_document_matches_snapshot() {
         Json::arr().push(Json::obj().set("n", 1u64).set("mismatches", 0u64)),
     );
     let expected = r#"{
-  "schema_version": 3,
+  "schema_version": 4,
   "experiment": "e0_snapshot",
   "threads": 4,
   "dpor": false,
+  "conform": false,
   "wall_ns": 0,
   "params": {
     "seeds": 100,
@@ -66,13 +67,32 @@ fn rendered_document_matches_snapshot() {
 }
 
 #[test]
+fn conform_documents_set_the_flag() {
+    let mut m = Metrics::new("e11_conform");
+    m.mark_conform();
+    let expected = r#"{
+  "schema_version": 4,
+  "experiment": "e11_conform",
+  "threads": 4,
+  "dpor": false,
+  "conform": true,
+  "wall_ns": 0,
+  "params": {},
+  "data": {}
+}
+"#;
+    assert_eq!(normalized(&m), expected);
+}
+
+#[test]
 fn empty_params_and_data_render_as_empty_objects() {
     let m = Metrics::new("e0_empty");
     let expected = r#"{
-  "schema_version": 3,
+  "schema_version": 4,
   "experiment": "e0_empty",
   "threads": 4,
   "dpor": false,
+  "conform": false,
   "wall_ns": 0,
   "params": {},
   "data": {}

@@ -22,19 +22,29 @@
 //! `COMPASS_BUNDLE_DIR`). A bundle found by any parallel worker replays
 //! with the same serial [`replay`] below.
 //!
+//! The *runtime conformance* harness (`compass::conform`) writes a
+//! sibling bundle kind via [`write_conform_bundle`]: no model trace
+//! exists there, so instead of `trace.txt`/`oplog.txt` the bundle holds
+//! `history.txt` — the recorded per-thread invocation/response history,
+//! which [`crate::conform::recheck`] deterministically re-checks offline
+//! to the same violated clause.
+//!
 //! ## `trace.txt` format (version 1)
 //!
 //! `#`-prefixed lines are comments. Every other line is
 //! `<kind> <chosen> <arity>` where `<kind>` is `T` (thread choice) or `R`
 //! (read choice), e.g. `T 1 3`.
 //!
-//! ## `bundle.json` schema (version 2)
+//! ## `bundle.json` schema (version 3)
 //!
 //! `{schema_version, kind: "violation"|"model-error", rule, message,
 //! events: [..], origin: {mode, ...}, trace_len, steps, ops_recorded}`.
-//! (v2 drops the `index` field from DFS origins: the forced prefix alone
-//! identifies the path, and a serial position is meaningless under
-//! parallel exploration.)
+//! (v2 dropped the `index` field from DFS origins: the forced prefix
+//! alone identifies the path, and a serial position is meaningless under
+//! parallel exploration. v3 adds the `"conform-violation"` kind, whose
+//! objects carry `{schema_version, kind, rule, message, events, origin:
+//! {mode: "conform", seed}, subject, threads, ops}` instead of the
+//! trace fields.)
 
 use std::fs;
 use std::io::{self};
@@ -43,7 +53,14 @@ use std::path::{Path, PathBuf};
 use orc11::{render_ops, replay_strategy, Choice, ChoiceKind, Json, RunOutcome, Strategy};
 
 use crate::checker::{CheckTarget, ExecOrigin};
+use crate::conform::{ConformEvent, History, RoundSpec};
+use crate::graph::Graph;
+use crate::report::render_failure;
 use crate::spec::Violation;
+
+/// Version of the `bundle.json` schema (see module docs for the
+/// changelog).
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Serializes a choice trace in the `trace.txt` line format.
 pub fn render_trace(trace: &[Choice], origin: &ExecOrigin) -> String {
@@ -157,7 +174,7 @@ fn summary_json(
     ops_recorded: bool,
 ) -> Json {
     Json::obj()
-        .set("schema_version", 2u64)
+        .set("schema_version", SCHEMA_VERSION)
         .set("kind", kind)
         .set("rule", rule)
         .set("message", message)
@@ -237,6 +254,61 @@ pub fn write_error_bundle<G>(
             !out.ops.is_empty(),
         ),
     )?;
+    Ok(dir)
+}
+
+/// Writes a runtime-conformance violation bundle (`compass::conform`)
+/// into a fresh subdirectory of `root` and returns its path.
+///
+/// Instead of a model choice trace, the re-execution artefact is
+/// `history.txt`: the recorded invocation/response history, from which
+/// [`crate::conform::recheck`] deterministically reconstructs the graph
+/// and reproduces the violated clause offline.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn write_conform_bundle<E: ConformEvent>(
+    root: &Path,
+    subject: &str,
+    hist: &History<E>,
+    g: &Graph<E>,
+    violation: &Violation,
+    spec: &RoundSpec,
+) -> io::Result<PathBuf> {
+    let dir = fresh_dir(root, &format!("conform-{subject}-{}", violation.rule))?;
+    fs::write(dir.join("report.txt"), render_failure(g, violation, &[]))?;
+    fs::write(dir.join("graph.dot"), crate::dot::to_dot(g, "violation"))?;
+    fs::write(
+        dir.join("history.txt"),
+        hist.render(&[
+            ("subject", subject.to_string()),
+            ("seed", spec.seed.to_string()),
+            ("threads", spec.threads.to_string()),
+            ("ops_per_thread", spec.ops_per_thread.to_string()),
+        ]),
+    )?;
+    let summary = Json::obj()
+        .set("schema_version", SCHEMA_VERSION)
+        .set("kind", "conform-violation")
+        .set("rule", violation.rule)
+        .set("message", violation.message.as_str())
+        .set(
+            "events",
+            violation
+                .events
+                .iter()
+                .map(|e| e.to_string())
+                .collect::<Vec<_>>(),
+        )
+        .set(
+            "origin",
+            Json::obj().set("mode", "conform").set("seed", spec.seed),
+        )
+        .set("subject", subject)
+        .set("threads", spec.threads)
+        .set("ops", hist.ops());
+    fs::write(dir.join("bundle.json"), summary.render_pretty())?;
     Ok(dir)
 }
 

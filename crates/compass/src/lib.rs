@@ -29,6 +29,13 @@
 //! | `LAT_hb^hist` (linearization, §3.3) | [`history::find_linearization`]: search for a total order `to ⊇ lhb` with a sequential interpretation |
 //! | `LAT_so^abs` (Cosmo-style, §2.3)    | the `SO-LHB` clauses: so edges transfer views |
 //!
+//! The model checker explores the structures on the simulated memory
+//! model; the [`conform`] module closes the loop on real hardware,
+//! reconstructing event graphs from timestamped histories of the
+//! *native* implementations (`compass-native`) and checking the same
+//! consistency clauses (soundly: real-time order under-approximates
+//! happens-before — see its module docs).
+//!
 //! ## Example: committing events at commit points and checking the graph
 //!
 //! ```
@@ -69,6 +76,7 @@
 pub mod abs;
 pub mod bundle;
 pub mod checker;
+pub mod conform;
 pub mod deque_spec;
 pub mod dot;
 pub mod event;

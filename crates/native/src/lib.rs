@@ -17,7 +17,13 @@
 //!
 //! These are the benchmark subjects of the performance experiments
 //! (P1/P2/P3 in `DESIGN.md`); their model-level twins in
-//! `compass-structures` are the checked subjects.
+//! `compass-structures` are the checked subjects — and, with the
+//! `recorder` feature, the *runtime conformance* subjects: the
+//! [`recorder`] module records timestamped invocation/response histories
+//! that `compass::conform` checks against the paper's consistency
+//! specifications (`DESIGN.md` §7). The `weak-variants` feature adds
+//! deliberately broken variants ([`WeakMsQueue`]) as positive controls
+//! for that harness.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -28,6 +34,8 @@ pub mod ebr;
 mod exchanger;
 mod hwqueue;
 mod msqueue;
+#[cfg(feature = "recorder")]
+pub mod recorder;
 mod spsc;
 mod stack;
 
@@ -36,6 +44,8 @@ pub use deque::{chase_lev, Steal, Stealer, Worker};
 pub use exchanger::Exchanger;
 pub use hwqueue::HwQueue;
 pub use msqueue::MsQueue;
+#[cfg(feature = "weak-variants")]
+pub use msqueue::WeakMsQueue;
 pub use spsc::{spsc_ring, Consumer, Producer};
 pub use stack::{ElimStack, TreiberStack};
 

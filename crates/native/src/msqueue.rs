@@ -142,6 +142,155 @@ impl<T: Send> ConcurrentQueue<T> for MsQueue<T> {
     }
 }
 
+/// A deliberately broken Michael-Scott queue — the *positive control*
+/// for the runtime conformance harness (`feature = "weak-variants"`).
+///
+/// `push` is the correct MS enqueue. `pop` replaces the atomic
+/// head-swinging CAS with a check-then-act sequence: load `head`, read
+/// the value, re-check that `head` is unchanged, yield (widening the
+/// check-to-act gap), then *plain-store* the new head. Concurrent pops
+/// can pass the stale check together and both return the same element —
+/// a duplicated dequeue that `compass::conform` must flag
+/// (`CONFORM-QUEUE-DUP`). A stale store can also rewind `head` past
+/// another pop's progress, re-exposing already-taken elements — again a
+/// duplication, and again flagged.
+///
+/// The weakness is algorithmic (time-of-check/time-of-use), not a bare
+/// memory-ordering downgrade: ordering-only weakenings compile to the
+/// same instructions on x86-TSO hosts and would make the control
+/// nondeterministic. Two design choices keep the *logic* bug from ever
+/// becoming a *memory* bug: the element type is `Copy` (so the double
+/// `ptr::read` of a duplicated node never double-drops), and popped
+/// nodes are never retired (racing pops may both unlink the same node;
+/// retiring it twice would be unsound even for a leaking shim).
+#[cfg(feature = "weak-variants")]
+pub struct WeakMsQueue<T: Copy> {
+    head: Atomic<Node<T>>,
+    tail: Atomic<Node<T>>,
+}
+
+#[cfg(feature = "weak-variants")]
+impl<T: Copy> fmt::Debug for WeakMsQueue<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("WeakMsQueue")
+    }
+}
+
+#[cfg(feature = "weak-variants")]
+unsafe impl<T: Copy + Send> Send for WeakMsQueue<T> {}
+#[cfg(feature = "weak-variants")]
+unsafe impl<T: Copy + Send> Sync for WeakMsQueue<T> {}
+
+#[cfg(feature = "weak-variants")]
+impl<T: Copy> Default for WeakMsQueue<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(feature = "weak-variants")]
+impl<T: Copy> WeakMsQueue<T> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        let sentinel = Owned::new(Node {
+            data: MaybeUninit::uninit(),
+            next: Atomic::null(),
+        });
+        let guard = unsafe { epoch::unprotected() };
+        let sentinel = sentinel.into_shared(guard);
+        WeakMsQueue {
+            head: Atomic::from(sentinel),
+            tail: Atomic::from(sentinel),
+        }
+    }
+
+    /// Enqueues `v` — the *correct* MS enqueue, identical to
+    /// [`MsQueue::push`].
+    pub fn push(&self, v: T) {
+        let guard = &epoch::pin();
+        let mut node = Owned::new(Node {
+            data: MaybeUninit::new(v),
+            next: Atomic::null(),
+        });
+        loop {
+            let tail = self.tail.load(Acquire, guard);
+            let tail_ref = unsafe { tail.deref() };
+            let next = tail_ref.next.load(Acquire, guard);
+            if !next.is_null() {
+                let _ = self
+                    .tail
+                    .compare_exchange(tail, next, Release, Relaxed, guard);
+                continue;
+            }
+            match tail_ref
+                .next
+                .compare_exchange(Shared::null(), node, Release, Relaxed, guard)
+            {
+                Ok(new) => {
+                    let _ = self
+                        .tail
+                        .compare_exchange(tail, new, Release, Relaxed, guard);
+                    return;
+                }
+                Err(e) => node = e.new,
+            }
+        }
+    }
+
+    /// Dequeues — DELIBERATELY WRONG. The head swing is a non-atomic
+    /// check-then-act (see the type docs): concurrent pops can both take
+    /// the same element.
+    pub fn pop(&self) -> Option<T> {
+        let guard = &epoch::pin();
+        loop {
+            let head = self.head.load(Acquire, guard);
+            let next = unsafe { head.deref() }.next.load(Acquire, guard);
+            if next.is_null() {
+                return None;
+            }
+            // Read the value before winning the race...
+            let data = unsafe { std::ptr::read(next.deref().data.as_ptr()) };
+            // ..."confirm" with a stale check instead of a CAS...
+            if self.head.load(Acquire, guard) == head {
+                // ...and yield in the check-to-act gap, so concurrent
+                // pops pass the same stale check together...
+                std::thread::yield_now();
+                self.head.store(next, Release);
+                // Never retired: a racing pop may hold the same node.
+                return Some(data);
+            }
+        }
+    }
+}
+
+#[cfg(feature = "weak-variants")]
+impl<T: Copy> Drop for WeakMsQueue<T> {
+    fn drop(&mut self) {
+        // Free the reachable suffix; `T: Copy` means the data slots need
+        // no dropping. Nodes unlinked by `pop` are leaked (module docs
+        // of `ebr` — the shim leaks retirements anyway).
+        let guard = unsafe { epoch::unprotected() };
+        let mut cur = self.head.load(Relaxed, guard);
+        while !cur.is_null() {
+            let node = unsafe { cur.into_owned() };
+            let next = node.next.load(Relaxed, guard);
+            drop(node);
+            cur = next;
+        }
+    }
+}
+
+#[cfg(feature = "weak-variants")]
+impl<T: Copy + Send> ConcurrentQueue<T> for WeakMsQueue<T> {
+    fn enqueue(&self, v: T) {
+        self.push(v);
+    }
+
+    fn dequeue(&self) -> Option<T> {
+        self.pop()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -208,5 +357,24 @@ mod tests {
     fn send_sync() {
         fn assert_send_sync<X: Send + Sync>() {}
         assert_send_sync::<MsQueue<u64>>();
+    }
+
+    /// The weak variant is only wrong under contention; single-threaded
+    /// it must behave like a FIFO queue (so the conformance harness is
+    /// exercising the race, not a broken sequential path).
+    #[cfg(feature = "weak-variants")]
+    #[test]
+    fn weak_variant_is_sequentially_correct() {
+        let q = WeakMsQueue::new();
+        assert_eq!(q.pop(), None);
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        q.push(4);
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.pop(), Some(4));
+        assert_eq!(q.pop(), None);
     }
 }

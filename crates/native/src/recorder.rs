@@ -1,0 +1,324 @@
+//! Invocation/response recording for the runtime conformance harness
+//! (`feature = "recorder"`).
+//!
+//! `compass::conform` checks the *native* structures in this crate
+//! against the paper's consistency specifications by stress-running them
+//! on real threads and reconstructing a Compass event graph from the
+//! real-time order of the operations. This module provides the
+//! instrumentation side of that pipeline, kept deliberately tiny and
+//! dependency-free:
+//!
+//! * [`Clock`] — one shared monotonic clock (nanoseconds since the round
+//!   epoch) so invocation/response timestamps from different threads are
+//!   comparable;
+//! * [`OpLog`] — a thread-*owned* append buffer of [`TimedOp`]s. Each
+//!   thread writes only its own log and the logs are handed back when the
+//!   round joins, so recording needs no synchronization at all (the
+//!   "lock-free thread-local buffer" is just a `Vec` the thread owns);
+//! * [`Jitter`] — a seeded splitmix64 RNG for reproducible randomized
+//!   yields/delays that perturb the schedule between operations;
+//! * [`run_round`] — a barrier-started round: `threads` worker threads
+//!   all block on one barrier, then run the workload closure, then join.
+//!
+//! The op payload type `O` is chosen by the caller — the conformance
+//! harness instantiates it with the event enums already defined in
+//! `compass` (`QueueEvent`, `StackEvent`, …), so no operation vocabulary
+//! is duplicated here.
+
+use std::sync::Barrier;
+use std::time::Instant;
+
+/// A monotonic clock shared by every thread of a round.
+///
+/// Timestamps are nanoseconds since the clock's creation. `Instant` is
+/// monotonic per the standard library's contract, and a single `Clock`
+/// is shared by all threads, so timestamps are mutually comparable:
+/// if `a.resp < b.inv` then operation `a` really did return before
+/// operation `b` was invoked.
+#[derive(Debug)]
+pub struct Clock {
+    epoch: Instant,
+}
+
+impl Clock {
+    /// Starts a fresh clock; its epoch is "now".
+    pub fn new() -> Self {
+        Clock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds elapsed since the epoch.
+    pub fn now(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+}
+
+impl Default for Clock {
+    fn default() -> Self {
+        Clock::new()
+    }
+}
+
+/// One recorded operation: the op payload plus its invocation and
+/// response timestamps (from the round's [`Clock`], `inv <= resp`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TimedOp<O> {
+    /// What the operation was (and returned), in the caller's vocabulary.
+    pub op: O,
+    /// Timestamp taken immediately before the call.
+    pub inv: u64,
+    /// Timestamp taken immediately after the call returned.
+    pub resp: u64,
+}
+
+/// A thread-owned invocation/response log.
+///
+/// Exactly one thread appends to a given `OpLog`; ownership moves back
+/// to the coordinator when the round joins. No atomics, no locks — the
+/// recording hot path is a timestamp read, the operation itself, a
+/// second timestamp read, and a `Vec::push`.
+#[derive(Debug)]
+pub struct OpLog<O> {
+    ops: Vec<TimedOp<O>>,
+}
+
+impl<O> OpLog<O> {
+    /// An empty log with room for `cap` operations (so recording does
+    /// not reallocate mid-round).
+    pub fn with_capacity(cap: usize) -> Self {
+        OpLog {
+            ops: Vec::with_capacity(cap),
+        }
+    }
+
+    /// Runs `action`, timestamping around it, and records the op that
+    /// `op_of` derives from the result. Returning `None` records
+    /// nothing — used for outcomes that are not events (e.g. a lost
+    /// `Steal::Retry` race).
+    pub fn record<R>(
+        &mut self,
+        clock: &Clock,
+        action: impl FnOnce() -> R,
+        op_of: impl FnOnce(&R) -> Option<O>,
+    ) -> R {
+        let inv = clock.now();
+        let result = action();
+        let resp = clock.now();
+        if let Some(op) = op_of(&result) {
+            self.ops.push(TimedOp {
+                op,
+                inv,
+                resp: resp.max(inv),
+            });
+        }
+        result
+    }
+
+    /// Number of recorded operations.
+    pub fn len(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Consumes the log into its operations, in recording order.
+    pub fn into_ops(self) -> Vec<TimedOp<O>> {
+        self.ops
+    }
+}
+
+/// A seeded splitmix64 RNG driving reproducible schedule perturbation.
+///
+/// Deliberately independent of `orc11::SmallRng`: the recorder must not
+/// depend on the model-checking substrate. splitmix64 is tiny, full
+/// period, and plenty for choosing yields and op mixes.
+#[derive(Debug, Clone)]
+pub struct Jitter {
+    state: u64,
+}
+
+impl Jitter {
+    /// An RNG seeded with `seed` (same seed ⇒ same sequence).
+    pub fn seed(seed: u64) -> Self {
+        Jitter { state: seed }
+    }
+
+    /// A per-thread RNG derived from a round seed: distinct threads get
+    /// decorrelated streams, deterministically.
+    pub fn for_thread(round_seed: u64, thread_index: usize) -> Self {
+        let mut j =
+            Jitter::seed(round_seed ^ (thread_index as u64).wrapping_mul(0x9e3779b97f4a7c15));
+        j.next_u64(); // discard one output to decouple nearby seeds
+        j
+    }
+
+    /// The next raw 64-bit output (splitmix64).
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform draw in `0..n` (`n > 0`).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next_u64() % n
+    }
+
+    /// True with probability `num / denom`.
+    pub fn chance(&mut self, num: u64, denom: u64) -> bool {
+        self.below(denom) < num
+    }
+
+    /// Randomly perturbs the schedule: sometimes an OS yield, sometimes
+    /// a short busy spin, often nothing. Call between operations to
+    /// shake out interleavings while keeping rounds fast.
+    pub fn stagger(&mut self) {
+        match self.below(8) {
+            0 => std::thread::yield_now(),
+            1 | 2 => {
+                for _ in 0..self.below(64) {
+                    std::hint::spin_loop();
+                }
+            }
+            _ => {}
+        }
+    }
+}
+
+/// Per-thread context handed to a round's workload closure.
+#[derive(Debug)]
+pub struct ThreadCtx<'a> {
+    /// This thread's index in `0..threads`.
+    pub index: usize,
+    /// Total number of threads in the round.
+    pub threads: usize,
+    /// The round's shared clock.
+    pub clock: &'a Clock,
+    /// This thread's deterministic jitter stream.
+    pub jitter: Jitter,
+}
+
+/// Runs one barrier-started round of `threads` workers and returns the
+/// per-thread op logs (indexed by thread).
+///
+/// Every worker seeds its [`Jitter`] from `(seed, index)`, blocks on a
+/// shared [`Barrier`] so the race window opens simultaneously for all
+/// threads, then runs `body` with a fresh [`OpLog`]. Timestamps come
+/// from one shared [`Clock`] created before the threads start.
+pub fn run_round<O, F>(threads: usize, seed: u64, body: F) -> Vec<Vec<TimedOp<O>>>
+where
+    O: Send,
+    F: Fn(&mut ThreadCtx<'_>, &mut OpLog<O>) + Sync,
+{
+    assert!(threads > 0, "a round needs at least one thread");
+    let clock = Clock::new();
+    let barrier = Barrier::new(threads);
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|index| {
+                let clock = &clock;
+                let barrier = &barrier;
+                let body = &body;
+                scope.spawn(move || {
+                    let mut ctx = ThreadCtx {
+                        index,
+                        threads,
+                        clock,
+                        jitter: Jitter::for_thread(seed, index),
+                    };
+                    let mut log = OpLog::with_capacity(64);
+                    barrier.wait();
+                    body(&mut ctx, &mut log);
+                    log.into_ops()
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn jitter_is_deterministic_and_decorrelated() {
+        let a: Vec<u64> = {
+            let mut j = Jitter::seed(42);
+            (0..8).map(|_| j.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut j = Jitter::seed(42);
+            (0..8).map(|_| j.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let t0 = Jitter::for_thread(7, 0).next_u64();
+        let t1 = Jitter::for_thread(7, 1).next_u64();
+        assert_ne!(t0, t1);
+        let mut j = Jitter::seed(1);
+        for _ in 0..100 {
+            assert!(j.below(10) < 10);
+        }
+        assert!((0..1000).filter(|_| j.chance(1, 2)).count() > 300);
+    }
+
+    #[test]
+    fn record_timestamps_bracket_the_call() {
+        let clock = Clock::new();
+        let mut log = OpLog::with_capacity(4);
+        let r = log.record(&clock, || 41 + 1, |r| Some(*r));
+        assert_eq!(r, 42);
+        let skipped = log.record(&clock, || 7, |_| None::<i32>);
+        assert_eq!(skipped, 7);
+        let ops = log.into_ops();
+        assert_eq!(ops.len(), 1);
+        assert_eq!(ops[0].op, 42);
+        assert!(ops[0].inv <= ops[0].resp);
+    }
+
+    #[test]
+    fn run_round_collects_per_thread_logs_in_order() {
+        let logs = run_round(4, 99, |ctx, log| {
+            for k in 0..5u64 {
+                ctx.jitter.stagger();
+                let clock = ctx.clock;
+                log.record(clock, || ctx.index as u64 * 100 + k, |r| Some(*r));
+            }
+        });
+        assert_eq!(logs.len(), 4);
+        for (i, ops) in logs.iter().enumerate() {
+            assert_eq!(ops.len(), 5);
+            for (k, t) in ops.iter().enumerate() {
+                assert_eq!(t.op, i as u64 * 100 + k as u64);
+                assert!(t.inv <= t.resp);
+            }
+            // Within a thread, operations are sequential.
+            for w in ops.windows(2) {
+                assert!(w[0].resp <= w[1].inv);
+            }
+        }
+    }
+
+    #[test]
+    fn run_round_is_reproducible_modulo_time() {
+        // Same seed ⇒ same op sequence (timestamps differ, ops do not).
+        let run = || {
+            run_round(2, 5, |ctx, log| {
+                for _ in 0..10 {
+                    let v = ctx.jitter.below(1000);
+                    log.record(ctx.clock, || v, |r| Some(*r));
+                }
+            })
+            .into_iter()
+            .map(|ops| ops.into_iter().map(|t| t.op).collect::<Vec<_>>())
+            .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,270 @@
+//! Multi-threaded smoke tests: every native structure keeps its
+//! elements under 4-thread contention.
+//!
+//! These are coarse conservation checks — counts balance, nothing is
+//! lost, nothing is duplicated — complementing the sequential oracle
+//! tests (`tests/oracle.rs`) and the *ordering*-sensitive runtime
+//! conformance harness (`compass::conform`, exercised from the
+//! workspace-level `tests/conform.rs`). They are also the workload the
+//! CI ThreadSanitizer job runs to probe for data races.
+
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+
+use compass_native::{
+    chase_lev, spsc_ring, ConcurrentQueue, ConcurrentStack, ElimStack, Exchanger, HwQueue, MsQueue,
+    MutexQueue, MutexStack, Steal, TreiberStack,
+};
+
+const THREADS: u64 = 4;
+const PER_THREAD: u64 = 3_000;
+
+/// Runs `producers` pushers and `consumers` poppers against `push`/`pop`
+/// closures; returns everything popped. Producer `p` pushes the distinct
+/// values `p*per_thread .. (p+1)*per_thread`.
+fn contend(
+    producers: u64,
+    consumers: u64,
+    per_thread: u64,
+    push: impl Fn(u64) + Sync,
+    pop: impl Fn() -> Option<u64> + Sync,
+) -> Vec<u64> {
+    let done = AtomicBool::new(false);
+    std::thread::scope(|scope| {
+        let consumer_handles: Vec<_> = (0..consumers)
+            .map(|_| {
+                let pop = &pop;
+                let done = &done;
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match pop() {
+                            Some(v) => got.push(v),
+                            None if done.load(Ordering::Acquire) => {
+                                while let Some(v) = pop() {
+                                    got.push(v);
+                                }
+                                break;
+                            }
+                            None => std::hint::spin_loop(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producer_handles: Vec<_> = (0..producers)
+            .map(|p| {
+                let push = &push;
+                scope.spawn(move || {
+                    for i in 0..per_thread {
+                        push(p * per_thread + i);
+                    }
+                })
+            })
+            .collect();
+        for h in producer_handles {
+            h.join().unwrap();
+        }
+        done.store(true, Ordering::Release);
+        consumer_handles
+            .into_iter()
+            .flat_map(|h| h.join().unwrap())
+            .collect()
+    })
+}
+
+/// Nothing lost, nothing duplicated: the popped multiset is exactly the
+/// pushed set.
+fn assert_conserved(popped: &[u64], producers: u64, per_thread: u64) {
+    let expected = producers * per_thread;
+    assert_eq!(popped.len() as u64, expected, "lost elements");
+    let unique: BTreeSet<u64> = popped.iter().copied().collect();
+    assert_eq!(unique.len() as u64, expected, "duplicated elements");
+}
+
+#[test]
+fn treiber_stack_conserves_elements() {
+    let s = TreiberStack::new();
+    let popped = contend(
+        THREADS / 2,
+        THREADS / 2,
+        PER_THREAD,
+        |v| s.push(v),
+        || s.pop(),
+    );
+    assert_conserved(&popped, THREADS / 2, PER_THREAD);
+}
+
+#[test]
+fn elim_stack_conserves_elements() {
+    let s = ElimStack::new(4, 64);
+    let popped = contend(
+        THREADS / 2,
+        THREADS / 2,
+        PER_THREAD,
+        |v| s.push(v),
+        || s.pop(),
+    );
+    assert_conserved(&popped, THREADS / 2, PER_THREAD);
+}
+
+#[test]
+fn mutex_stack_conserves_elements() {
+    let s = MutexStack::new();
+    let popped = contend(
+        THREADS / 2,
+        THREADS / 2,
+        PER_THREAD,
+        |v| ConcurrentStack::push(&s, v),
+        || ConcurrentStack::pop(&s),
+    );
+    assert_conserved(&popped, THREADS / 2, PER_THREAD);
+}
+
+#[test]
+fn ms_queue_conserves_elements() {
+    let q = MsQueue::new();
+    let popped = contend(
+        THREADS / 2,
+        THREADS / 2,
+        PER_THREAD,
+        |v| q.push(v),
+        || q.pop(),
+    );
+    assert_conserved(&popped, THREADS / 2, PER_THREAD);
+}
+
+#[test]
+fn hw_queue_conserves_elements() {
+    // Non-recycling bounded queue: capacity must cover every enqueue.
+    let q = HwQueue::new((THREADS / 2 * PER_THREAD) as usize);
+    let popped = contend(
+        THREADS / 2,
+        THREADS / 2,
+        PER_THREAD,
+        |v| ConcurrentQueue::enqueue(&q, v),
+        || q.try_pop(),
+    );
+    assert_conserved(&popped, THREADS / 2, PER_THREAD);
+}
+
+#[test]
+fn mutex_queue_conserves_elements() {
+    let q = MutexQueue::new();
+    let popped = contend(
+        THREADS / 2,
+        THREADS / 2,
+        PER_THREAD,
+        |v| ConcurrentQueue::enqueue(&q, v),
+        || ConcurrentQueue::dequeue(&q),
+    );
+    assert_conserved(&popped, THREADS / 2, PER_THREAD);
+}
+
+#[test]
+fn spsc_ring_preserves_count_and_order() {
+    let (tx, rx) = spsc_ring(64);
+    std::thread::scope(|scope| {
+        scope.spawn(move || {
+            for i in 0..4 * PER_THREAD {
+                tx.push(i);
+            }
+        });
+        scope.spawn(move || {
+            for expect in 0..4 * PER_THREAD {
+                assert_eq!(rx.pop(), expect, "spsc reordered or lost an element");
+            }
+        });
+    });
+}
+
+#[test]
+fn chase_lev_conserves_elements_across_thieves() {
+    let total = (THREADS * PER_THREAD) as usize;
+    let (worker, stealer) = chase_lev(total);
+    let done = AtomicBool::new(false);
+    let outs: Vec<Vec<u64>> = std::thread::scope(|scope| {
+        let thief_handles: Vec<_> = (0..THREADS - 1)
+            .map(|_| {
+                let stealer = stealer.clone();
+                let done = &done;
+                scope.spawn(move || {
+                    let mut got = Vec::new();
+                    loop {
+                        match stealer.steal() {
+                            Steal::Stolen(v) => got.push(v),
+                            Steal::Retry => std::hint::spin_loop(),
+                            Steal::Empty if done.load(Ordering::Acquire) => {
+                                // Final sweep: drain whatever is left.
+                                loop {
+                                    match stealer.steal() {
+                                        Steal::Stolen(v) => got.push(v),
+                                        Steal::Retry => std::hint::spin_loop(),
+                                        Steal::Empty => break,
+                                    }
+                                }
+                                break;
+                            }
+                            Steal::Empty => std::hint::spin_loop(),
+                        }
+                    }
+                    got
+                })
+            })
+            .collect();
+        let owner = scope.spawn(|| {
+            let mut got = Vec::new();
+            for i in 0..total as u64 {
+                worker.push(i);
+                if i % 3 == 0 {
+                    if let Some(v) = worker.pop() {
+                        got.push(v);
+                    }
+                }
+            }
+            while let Some(v) = worker.pop() {
+                got.push(v);
+            }
+            got
+        });
+        let mut outs = vec![owner.join().unwrap()];
+        done.store(true, Ordering::Release);
+        outs.extend(thief_handles.into_iter().map(|h| h.join().unwrap()));
+        outs
+    });
+    let all: Vec<u64> = outs.into_iter().flatten().collect();
+    assert_conserved(&all, 1, total as u64);
+}
+
+#[test]
+fn exchanger_pairs_conserve_values() {
+    // 4 threads exchange distinct values; every successful exchange must
+    // be a symmetric swap, so the multiset of (given minus received)
+    // values cancels out and nobody receives their own value back.
+    let ex = Exchanger::new();
+    let given = AtomicU64::new(0);
+    let got = AtomicU64::new(0);
+    let swaps = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for t in 0..THREADS {
+            let ex = &ex;
+            let (given, got, swaps) = (&given, &got, &swaps);
+            scope.spawn(move || {
+                for i in 0..200u64 {
+                    let mine = t * 1_000 + i;
+                    if let Ok(theirs) = ex.exchange(mine, 512) {
+                        assert_ne!(theirs, mine, "exchanged with self");
+                        given.fetch_add(mine, Ordering::Relaxed);
+                        got.fetch_add(theirs, Ordering::Relaxed);
+                        swaps.fetch_add(1, Ordering::Relaxed);
+                    }
+                }
+            });
+        }
+    });
+    // Pairwise swaps: the sums of values given and received must match,
+    // and successes come in pairs.
+    assert_eq!(given.load(Ordering::Relaxed), got.load(Ordering::Relaxed));
+    assert_eq!(swaps.load(Ordering::Relaxed) % 2, 0);
+}

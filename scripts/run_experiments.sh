@@ -1,20 +1,24 @@
 #!/usr/bin/env bash
-# Regenerates every experiment from DESIGN.md §4 (E1–E10) in release mode.
+# Regenerates every experiment from DESIGN.md §4 (E1–E10 plus the
+# runtime-conformance harness e11_conform) in release mode.
 # Usage: scripts/run_experiments.sh [output-dir]
 set -euo pipefail
 out="${1:-experiment-results}"
 mkdir -p "$out"
 # Each e* binary also writes machine-readable metrics ($out/<exp>.json,
-# see EXPERIMENTS.md, "Observability & replay").
+# see EXPERIMENTS.md, "Observability & replay"). e11_conform additionally
+# writes its positive-control replay bundle under $out/conform-bundles.
 export COMPASS_RESULTS_DIR="$out"
 cargo build --release -p compass-bench
-exps=(e1_mp e2_spec_matrix e4_hist_stack e5_elimination e6_sizes e7_spsc e8_litmus e9_deque e10_strategies)
+exps=(e1_mp e2_spec_matrix e4_hist_stack e5_elimination e6_sizes e7_spsc e8_litmus e9_deque e10_strategies e11_conform)
 for exp in "${exps[@]}"; do
   echo "=== $exp ==="
   ./target/release/"$exp" | tee "$out/$exp.txt"
   echo
 done
-echo "E11/E12 run as integration tests:"
+# The flexibility studies (EXPERIMENTS.md E11/E12 — not to be confused
+# with the e11_conform binary above) run as integration tests.
+echo "E11/E12 (flexibility studies) run as integration tests:"
 cargo test --release --test flexibility -- --nocapture | tee "$out/e11_e12.txt"
 
 # Aggregate the DPOR pruning counters across the litmus gallery (E8 runs
@@ -32,10 +36,29 @@ PY
 )
 fi
 
+# Aggregate the runtime-conformance matrix (e11_conform records one
+# object per native subject plus the weakened positive control).
+conform='null'
+if command -v python3 >/dev/null 2>&1 && [ -f "$out/e11_conform.json" ]; then
+  conform=$(python3 - "$out/e11_conform.json" <<'PY'
+import json, sys
+data = json.load(open(sys.argv[1]))["data"]
+control = data.get("WeakMsQueue_control", {})
+subjects = {k: v for k, v in data.items() if k != "WeakMsQueue_control"}
+print(json.dumps({
+    "subjects": len(subjects),
+    "rounds": sum(s["execs"] for s in subjects.values()),
+    "conforming": sum(s["consistent"] for s in subjects.values()),
+    "control_flagged_rule": control.get("flagged_rule"),
+}, separators=(", ", ": ")))
+PY
+)
+fi
+
 # Collect the per-experiment metrics into one summary document.
 summary="$out/summary.json"
 {
-  printf '{\n  "schema_version": 3,\n  "dpor_pruning": %s,\n  "experiments": [\n' "$pruning"
+  printf '{\n  "schema_version": 4,\n  "dpor_pruning": %s,\n  "conform": %s,\n  "experiments": [\n' "$pruning" "$conform"
   first=1
   for exp in "${exps[@]}"; do
     f="$out/$exp.json"
