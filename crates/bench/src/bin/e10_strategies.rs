@@ -78,37 +78,54 @@ fn weak_hw_program(
     )
 }
 
-/// Executions (out of `spec`) whose graph fails `buggy`'s check.
-fn count_bugs<M: Model>(model: &M, spec: &WorkSpec, buggy: impl Fn(&M::Out) -> bool + Sync) -> u64 {
+/// Executions (out of `spec`) whose graph fails `buggy`'s check, plus
+/// the exploration report (phase/worker telemetry for metrics).
+fn count_bugs<M: Model>(
+    model: &M,
+    spec: &WorkSpec,
+    buggy: impl Fn(&M::Out) -> bool + Sync,
+) -> (u64, orc11::ExploreReport) {
     let hits = AtomicU64::new(0);
-    Explorer::default().explore(spec, model, |_, out| {
+    let report = Explorer::default().explore(spec, model, |_, out| {
         if let Ok(g) = &out.result {
             if buggy(g) {
                 hits.fetch_add(1, Ordering::Relaxed);
             }
         }
     });
-    hits.load(Ordering::Relaxed)
+    (hits.load(Ordering::Relaxed), report)
 }
 
 /// Bug hits under uniform random and PCT d ∈ {2, 3, 5}, `n` executions
 /// each.
-fn rates<M: Model>(model: &M, n: u64, buggy: impl Fn(&M::Out) -> bool + Sync) -> [u64; 4] {
+fn rates<M: Model>(
+    model: &M,
+    n: u64,
+    buggy: impl Fn(&M::Out) -> bool + Sync,
+    m: &mut Metrics,
+) -> [u64; 4] {
     let pct = |depth| WorkSpec::Pct {
         iters: n,
         seed0: 0,
         depth,
         horizon: HORIZON,
     };
+    let mut run = |spec: &WorkSpec| {
+        let (hits, report) = count_bugs(model, spec, &buggy);
+        m.add_phases(&report.phase_ns);
+        m.add_workers(&report.workers);
+        hits
+    };
     [
-        count_bugs(model, &WorkSpec::Random { iters: n, seed0: 0 }, &buggy),
-        count_bugs(model, &pct(2), &buggy),
-        count_bugs(model, &pct(3), &buggy),
-        count_bugs(model, &pct(5), &buggy),
+        run(&WorkSpec::Random { iters: n, seed0: 0 }),
+        run(&pct(2)),
+        run(&pct(3)),
+        run(&pct(5)),
     ]
 }
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e10_strategies");
     let n: u64 = std::env::args()
         .nth(1)
@@ -120,13 +137,21 @@ fn main() {
     for (name, [random, pct2, pct3, pct5]) in [
         (
             "Chase-Lev double-take (weak fences)",
-            rates(&weak_deque_program, n, |g| {
-                check_deque_consistent(g).is_err()
-            }),
+            rates(
+                &weak_deque_program,
+                n,
+                |g| check_deque_consistent(g).is_err(),
+                &mut m,
+            ),
         ),
         (
             "Herlihy-Wing FIFO (relaxed tail)",
-            rates(&weak_hw_program, n, |g| check_queue_consistent(g).is_err()),
+            rates(
+                &weak_hw_program,
+                n,
+                |g| check_queue_consistent(g).is_err(),
+                &mut m,
+            ),
         ),
     ] {
         t.row(&[
@@ -155,4 +180,5 @@ fn main() {
     m.param("executions", n);
     m.set("bugs_found", bugs);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

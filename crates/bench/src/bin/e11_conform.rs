@@ -66,6 +66,7 @@ fn check_correct<S: ConformSubject>(
 ) {
     let report = run_conformance(subject, opts);
     report_row(t, subject.name(), &report);
+    m.add_phases(&report.phase_ns);
     m.set(subject.name(), report_json(&report));
     assert!(
         report.consistent == report.execs,
@@ -76,6 +77,7 @@ fn check_correct<S: ConformSubject>(
 }
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e11_conform");
     m.mark_conform();
     let rounds: u64 = std::env::args()
@@ -160,6 +162,9 @@ fn main() {
             break;
         }
     }
+    for (_, r) in control.iter() {
+        m.add_phases(&r.phase_ns);
+    }
     let (batches_needed, report) = control.expect(
         "positive control FAILED: the weakened MsQueue was never flagged — \
          the conformance harness has lost its teeth",
@@ -201,4 +206,5 @@ fn main() {
         .set("bundle", dir.display().to_string());
     m.set("WeakMsQueue_control", ctl);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

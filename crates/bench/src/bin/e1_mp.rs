@@ -25,9 +25,9 @@ fn tally<Q: compass_structures::queue::ModelQueue>(
     make: impl Fn(&mut orc11::ThreadCtx) -> Q + Copy + Send + Sync,
     release_flag: bool,
     seeds: u64,
-) -> Tally {
+) -> (Tally, orc11::ExploreReport) {
     let tl = Mutex::new(Tally::default());
-    Explorer::default().explore(
+    let report = Explorer::default().explore(
         &WorkSpec::Random {
             iters: seeds,
             seed0: 0,
@@ -51,10 +51,11 @@ fn tally<Q: compass_structures::queue::ModelQueue>(
             }
         },
     );
-    tl.into_inner()
+    (tl.into_inner(), report)
 }
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e1_mp");
     let seeds: u64 = std::env::args()
         .nth(1)
@@ -101,20 +102,16 @@ fn main() {
         rows = r.push(row);
     };
     for release in [true, false] {
-        add(
-            &mut t,
-            "Michael-Scott (rel/acq)",
-            release,
-            tally(MsQueue::new, release, seeds),
-        );
+        let (tl, report) = tally(MsQueue::new, release, seeds);
+        m.add_phases(&report.phase_ns);
+        m.add_workers(&report.workers);
+        add(&mut t, "Michael-Scott (rel/acq)", release, tl);
     }
     for release in [true, false] {
-        add(
-            &mut t,
-            "Herlihy-Wing (relaxed)",
-            release,
-            tally(|ctx| HwQueue::new(ctx, 4), release, seeds),
-        );
+        let (tl, report) = tally(|ctx| HwQueue::new(ctx, 4), release, seeds);
+        m.add_phases(&report.phase_ns);
+        m.add_workers(&report.workers);
+        add(&mut t, "Herlihy-Wing (relaxed)", release, tl);
     }
     println!("{t}");
     println!(
@@ -126,4 +123,5 @@ fn main() {
     m.param("seeds", seeds);
     m.set("configurations", rows);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

@@ -22,6 +22,7 @@ use compass_structures::queue::{HwQueue, LockQueue, MsQueue};
 use orc11::Json;
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e2_spec_matrix");
     let seeds: u64 = std::env::args()
         .nth(1)
@@ -37,6 +38,8 @@ fn main() {
         "model errors",
     ]);
     let mut matrix = Json::obj();
+    let mut phases = orc11::PhaseNs::ZERO;
+    let mut workers: Vec<orc11::WorkerStats> = Vec::new();
     let mut add = |name: &str, s: compass_bench::workloads::QueueSpecStats| {
         let [hb, so, abs, hist] = s.percentages();
         t.row(&[
@@ -47,6 +50,13 @@ fn main() {
             hist,
             s.model_errors.to_string(),
         ]);
+        phases.merge(&s.phase_ns);
+        if workers.len() < s.workers.len() {
+            workers.resize(s.workers.len(), orc11::WorkerStats::default());
+        }
+        for (mine, theirs) in workers.iter_mut().zip(&s.workers) {
+            mine.merge(theirs);
+        }
         let m = std::mem::replace(&mut matrix, Json::Null);
         matrix = m.set(name, s.to_json());
     };
@@ -79,5 +89,8 @@ fn main() {
     );
     m.param("seeds", seeds);
     m.set("implementations", matrix);
+    m.add_phases(&phases);
+    m.add_workers(&workers);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

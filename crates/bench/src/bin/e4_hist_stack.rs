@@ -13,6 +13,7 @@ use compass_bench::table::Table;
 use compass_bench::workloads::treiber_hist_stats;
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e4_hist_stack");
     let seeds: u64 = std::env::args()
         .nth(1)
@@ -43,6 +44,9 @@ fn main() {
          (`to ⊇ lhb`, not `to = mo`) the spec permits."
     );
     m.param("seeds", seeds);
+    m.add_phases(&s.phase_ns);
+    m.add_workers(&s.workers);
     m.set("treiber", s.to_json());
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

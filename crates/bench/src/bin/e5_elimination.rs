@@ -12,6 +12,7 @@ use compass_bench::workloads::elim_stats;
 use orc11::Json;
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e5_elimination");
     let seeds: u64 = std::env::args()
         .nth(1)
@@ -21,6 +22,8 @@ fn main() {
     let mut by_patience = Json::arr();
     for patience in [1, 3, 6] {
         let s = elim_stats(0..seeds, patience);
+        m.add_phases(&s.phase_ns);
+        m.add_workers(&s.workers);
         by_patience = by_patience.push(
             Json::obj()
                 .set("patience", u64::from(patience))
@@ -56,4 +59,5 @@ fn main() {
     m.param("seeds", seeds);
     m.set("by_patience", by_patience);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

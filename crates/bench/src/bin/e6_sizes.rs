@@ -38,6 +38,7 @@ fn repo_root() -> PathBuf {
 }
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e6_sizes");
     let root = repo_root();
     let f = |rel: &str| loc(&root.join(rel));
@@ -160,4 +161,5 @@ fn main() {
     m.set("library_median_loc", median);
     m.set("crates_loc", crate_loc);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

@@ -12,7 +12,9 @@ use compass_structures::clients::{check_spsc, run_spsc};
 use orc11::{random_strategy, Json};
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e7_spsc");
+    let phase_mark = orc11::trace::thread_phases();
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -64,5 +66,9 @@ fn main() {
     println!("\nExpected shape (paper §3.2): all failure columns are 0 at every size.");
     m.param("seeds", seeds);
     m.set("by_size", by_size);
+    // The whole run is serial on this thread, so the thread-local phase
+    // delta is exactly the run's breakdown.
+    m.add_phases(&orc11::trace::thread_phases().delta_since(&phase_mark));
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

@@ -69,6 +69,7 @@ impl Row {
 }
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e8_litmus");
     let budget: u64 = std::env::args()
         .nth(1)
@@ -172,7 +173,14 @@ fn main() {
         );
     }
 
+    for row in &rows {
+        m.add_phases(&row.plain.report.phase_ns);
+        m.add_phases(&row.dpor.report.phase_ns);
+        m.add_workers(&row.plain.report.workers);
+        m.add_workers(&row.dpor.report.workers);
+    }
     m.param("budget", budget);
     m.set("tests", tests);
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

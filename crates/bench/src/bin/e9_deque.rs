@@ -76,7 +76,9 @@ fn run(make: impl Fn(&mut ThreadCtx, u32) -> ChaseLevDeque + Sync, seeds: u64) -
 }
 
 fn main() {
+    orc11::trace::init_from_env();
     let mut m = Metrics::new("e9_deque");
+    let phase_mark = orc11::trace::thread_phases();
     let seeds: u64 = std::env::args()
         .nth(1)
         .and_then(|s| s.parse().ok())
@@ -115,5 +117,8 @@ fn main() {
     m.param("seeds", seeds);
     m.set("sc_fences", strong.to_json());
     m.set("acq_rel_fences", weak.to_json());
+    // Serial run: the thread-local phase delta is the run's breakdown.
+    m.add_phases(&orc11::trace::thread_phases().delta_since(&phase_mark));
     m.write_or_warn();
+    orc11::trace::finish_or_warn();
 }

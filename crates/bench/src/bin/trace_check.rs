@@ -1,0 +1,63 @@
+//! `trace_check <trace.json> [max-tid]` — structural validator for
+//! Chrome trace-event files written by `orc11::trace` (CI's trace-smoke
+//! step runs it against an `e8_litmus` trace).
+//!
+//! Checks, via [`orc11::trace::validate_trace_file`]: the file parses as
+//! JSON with a `traceEvents` array, every event sits on pid 0 with a
+//! `u32` tid, timestamps are monotone per track, B/E duration events are
+//! well nested per track (matched by name, stacks empty at the end), and
+//! counter events carry a numeric `args.value`. With the optional
+//! `max-tid` argument it also requires every worker-range tid (< 1000,
+//! i.e. not an anonymous-thread track) to be at most `max-tid` — pass
+//! the worker thread count, since worker `i` records as tid `i + 1`.
+//!
+//! Exit status: 0 if the trace validates, 1 otherwise (message on
+//! stderr) — so shell scripts can gate on it directly.
+
+use std::path::Path;
+use std::process::ExitCode;
+
+use orc11::trace::validate_trace_file;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    let Some(path) = args.next() else {
+        eprintln!("usage: trace_check <trace.json> [max-tid]");
+        return ExitCode::FAILURE;
+    };
+    let max_tid: Option<u32> = match args.next() {
+        None => None,
+        Some(s) => match s.parse() {
+            Ok(n) => Some(n),
+            Err(_) => {
+                eprintln!("trace_check: max-tid must be an integer, got {s:?}");
+                return ExitCode::FAILURE;
+            }
+        },
+    };
+    match validate_trace_file(Path::new(&path)) {
+        Err(msg) => {
+            eprintln!("trace_check: {path}: INVALID: {msg}");
+            ExitCode::FAILURE
+        }
+        Ok(check) => {
+            if let Some(cap) = max_tid {
+                // Anonymous (non-worker) threads get tids >= 1000; the
+                // worker range is main (0) plus worker i at i + 1.
+                if check.max_tid < 1000 && check.max_tid > cap {
+                    eprintln!(
+                        "trace_check: {path}: INVALID: worker tid {} exceeds \
+                         the declared maximum {cap}",
+                        check.max_tid
+                    );
+                    return ExitCode::FAILURE;
+                }
+            }
+            println!(
+                "trace_check: {path}: ok — {} events ({} spans, {} counters) on {} tracks",
+                check.events, check.spans, check.counters, check.tracks
+            );
+            ExitCode::SUCCESS
+        }
+    }
+}

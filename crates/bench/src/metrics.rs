@@ -7,12 +7,14 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 4,
+//!   "schema_version": 5,
 //!   "experiment": "<id>",
 //!   "threads": 4,         // exploration worker threads for this run
 //!   "dpor": false,        // whether COMPASS_DPOR pruned DFS runs
 //!   "conform": false,     // runtime-conformance run (real threads)?
 //!   "wall_ns": 12345678,  // wall-clock from Metrics::new() to to_json()
+//!   "phase_ns": { ... },  // per-phase busy time (orc11::trace)
+//!   "workers": [ ... ],   // per-worker load-balance counters
 //!   "params": { ... },    // run parameters (seed counts, budgets, ...)
 //!   "data": { ... }       // the experiment's measurements
 //! }
@@ -30,7 +32,14 @@
 //! numbers come from real threads on real hardware — `threads` and
 //! `dpor` describe the model-exploration environment and do not apply to
 //! them, and consumers must not average conformance counts with
-//! model-exploration counts. `params` and `data` are
+//! model-exploration counts. Schema v5 adds `phase_ns` (the per-phase
+//! busy-time breakdown from `orc11::trace` — explore/dpor/check/
+//! linearize/conform/io, averaged per worker so the six values sum to at
+//! most `wall_ns`; all zero when the experiment recorded no reports) and
+//! `workers` (per-worker executed/stolen/idle-wait counters, sorted by
+//! worker index; empty for serial or conformance runs). Both accumulate
+//! over every report fed via [`Metrics::add_phases`] /
+//! [`Metrics::add_workers`]. `params` and `data` are
 //! experiment-specific but always objects; every count is a JSON
 //! integer, every ratio a JSON float (the in-tree emitter guarantees
 //! floats stay float-shaped — see [`orc11::Json`]).
@@ -41,10 +50,10 @@ use std::io;
 use std::path::PathBuf;
 use std::time::Instant;
 
-use orc11::Json;
+use orc11::{Json, PhaseNs, WorkerStats};
 
 /// The metrics schema version emitted by this crate.
-pub const SCHEMA_VERSION: u64 = 4;
+pub const SCHEMA_VERSION: u64 = 5;
 
 /// Builder for one experiment's metrics file.
 #[derive(Clone, Debug)]
@@ -54,6 +63,8 @@ pub struct Metrics {
     dpor: bool,
     conform: bool,
     start: Instant,
+    phase_ns: PhaseNs,
+    workers: Vec<WorkerStats>,
     params: Json,
     data: Json,
 }
@@ -70,8 +81,28 @@ impl Metrics {
             dpor: orc11::dpor_from_env(),
             conform: false,
             start: Instant::now(),
+            phase_ns: PhaseNs::ZERO,
+            workers: Vec::new(),
             params: Json::obj(),
             data: Json::obj(),
+        }
+    }
+
+    /// Accumulates a report's per-phase busy-time breakdown into the
+    /// document's `phase_ns` (e.g. `m.add_phases(&report.phase_ns)` once
+    /// per exploration the experiment ran).
+    pub fn add_phases(&mut self, phases: &PhaseNs) {
+        self.phase_ns.merge(phases);
+    }
+
+    /// Accumulates per-worker load-balance counters into the document's
+    /// `workers` array (index-wise, growing it as needed).
+    pub fn add_workers(&mut self, workers: &[WorkerStats]) {
+        if self.workers.len() < workers.len() {
+            self.workers.resize(workers.len(), WorkerStats::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(workers) {
+            mine.merge(theirs);
         }
     }
 
@@ -103,6 +134,8 @@ impl Metrics {
             .set("dpor", self.dpor)
             .set("conform", self.conform)
             .set("wall_ns", self.start.elapsed().as_nanos() as u64)
+            .set("phase_ns", self.phase_ns.to_json())
+            .set("workers", orc11::workers_to_json(&self.workers))
             .set("params", self.params.clone())
             .set("data", self.data.clone())
     }
@@ -151,7 +184,7 @@ mod tests {
         m.set("consistent", 100u64);
         m.set("rate", 1.0f64);
         let j = m.to_json();
-        assert_eq!(j.get("schema_version"), Some(&Json::Int(4)));
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(5)));
         assert_eq!(j.get("experiment"), Some(&Json::Str("e0_test".into())));
         // The environment-dependent fields exist and are sane.
         assert!(matches!(j.get("threads"), Some(&Json::Int(n)) if n >= 1));
@@ -161,6 +194,31 @@ mod tests {
         conform.mark_conform();
         assert_eq!(conform.to_json().get("conform"), Some(&Json::Bool(true)));
         assert!(matches!(j.get("wall_ns"), Some(&Json::Int(_))));
+        // v5: phase/worker fields exist even when nothing was recorded.
+        assert_eq!(
+            j.get("phase_ns").and_then(|p| p.get("explore")),
+            Some(&Json::Int(0))
+        );
+        assert_eq!(j.get("workers"), Some(&Json::Arr(vec![])));
+        let mut fed = Metrics::new("e0_fed");
+        fed.add_phases(&PhaseNs {
+            explore: 7,
+            ..PhaseNs::ZERO
+        });
+        fed.add_workers(&[WorkerStats {
+            executed: 3,
+            ..WorkerStats::default()
+        }]);
+        let fj = fed.to_json();
+        assert_eq!(
+            fj.get("phase_ns").and_then(|p| p.get("explore")),
+            Some(&Json::Int(7))
+        );
+        let workers = match fj.get("workers") {
+            Some(Json::Arr(rows)) => rows,
+            other => panic!("workers is not an array: {other:?}"),
+        };
+        assert_eq!(workers[0].get("executed"), Some(&Json::Int(3)));
         assert_eq!(
             j.get("params").and_then(|p| p.get("seeds")),
             Some(&Json::Int(100))
@@ -183,7 +241,7 @@ mod tests {
         let path = dir.join("e0_write_test.json");
         std::fs::write(&path, m.to_json().render_pretty()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("{\n  \"schema_version\": 4,\n"));
+        assert!(text.starts_with("{\n  \"schema_version\": 5,\n"));
         assert!(text.ends_with("\n"));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -13,7 +13,10 @@ use compass::stack_spec::check_stack_consistent;
 use compass_structures::deque::ChaseLevDeque;
 use compass_structures::queue::ModelQueue;
 use compass_structures::stack::{ElimStack, ModelStack, TreiberStack};
-use orc11::{run_model, sync::Mutex, BodyFn, Config, Explorer, ThreadCtx, Val, WorkSpec};
+use orc11::{
+    run_model, sync::Mutex, BodyFn, Config, Explorer, PhaseNs, ThreadCtx, Val, WorkSpec,
+    WorkerStats,
+};
 
 /// The engine work description for a `seeds` range: one random-strategy
 /// execution per seed, on however many workers the environment asks for
@@ -42,6 +45,10 @@ pub struct QueueSpecStats {
     pub lat_abs: u64,
     /// A linearization `to ⊇ lhb` exists (the `LAT_hb^hist` style).
     pub lat_hist: u64,
+    /// Per-phase busy time from the exploration (see `orc11::trace`).
+    pub phase_ns: PhaseNs,
+    /// Per-worker load-balance counters from the exploration.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl QueueSpecStats {
@@ -83,7 +90,7 @@ pub fn queue_spec_stats<Q: ModelQueue>(
     seeds: std::ops::Range<u64>,
 ) -> QueueSpecStats {
     let stats = Mutex::new(QueueSpecStats::default());
-    Explorer::default().explore(
+    let report = Explorer::default().explore(
         &random_over(seeds),
         &|strategy| {
             run_model(
@@ -133,7 +140,10 @@ pub fn queue_spec_stats<Q: ModelQueue>(
             }
         },
     );
-    stats.into_inner()
+    let mut stats = stats.into_inner();
+    stats.phase_ns = report.phase_ns;
+    stats.workers = report.workers;
+    stats
 }
 
 /// Per-run statistics for the Treiber `LAT_hb^hist` experiment (E4).
@@ -152,6 +162,10 @@ pub struct StackHistStats {
     pub commit_order_witness: u64,
     /// Executions containing at least one empty pop.
     pub with_emp_pops: u64,
+    /// Per-phase busy time from the exploration (see `orc11::trace`).
+    pub phase_ns: PhaseNs,
+    /// Per-worker load-balance counters from the exploration.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl StackHistStats {
@@ -179,7 +193,7 @@ pub fn stack_hist_stats<S: ModelStack>(
     seeds: std::ops::Range<u64>,
 ) -> StackHistStats {
     let stats = Mutex::new(StackHistStats::default());
-    Explorer::default().explore(
+    let report = Explorer::default().explore(
         &random_over(seeds),
         &|strategy| {
             run_model(
@@ -227,7 +241,10 @@ pub fn stack_hist_stats<S: ModelStack>(
             }
         },
     );
-    stats.into_inner()
+    let mut stats = stats.into_inner();
+    stats.phase_ns = report.phase_ns;
+    stats.workers = report.workers;
+    stats
 }
 
 /// Per-run statistics for the elimination-stack experiment (E5).
@@ -249,6 +266,10 @@ pub struct ElimStats {
     pub eliminations: u64,
     /// Total successful exchanges across all runs (= 2 × matched pairs).
     pub exchanges: u64,
+    /// Per-phase busy time from the exploration (see `orc11::trace`).
+    pub phase_ns: PhaseNs,
+    /// Per-worker load-balance counters from the exploration.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl ElimStats {
@@ -270,7 +291,7 @@ impl ElimStats {
 /// compositional consistency.
 pub fn elim_stats(seeds: std::ops::Range<u64>, patience: u32) -> ElimStats {
     let stats = Mutex::new(ElimStats::default());
-    Explorer::default().explore(
+    let report = Explorer::default().explore(
         &random_over(seeds),
         &|strategy| {
             run_model(
@@ -324,7 +345,10 @@ pub fn elim_stats(seeds: std::ops::Range<u64>, patience: u32) -> ElimStats {
             }
         },
     );
-    stats.into_inner()
+    let mut stats = stats.into_inner();
+    stats.phase_ns = report.phase_ns;
+    stats.workers = report.workers;
+    stats
 }
 
 /// Per-run statistics for the Chase-Lev deque (E9/P3).
@@ -338,6 +362,10 @@ pub struct DequeStats {
     pub consistent: u64,
     /// Mutator subgraph admits a linearization.
     pub hist_ok: u64,
+    /// Per-phase busy time from the exploration (see `orc11::trace`).
+    pub phase_ns: PhaseNs,
+    /// Per-worker load-balance counters from the exploration.
+    pub workers: Vec<WorkerStats>,
 }
 
 impl DequeStats {
@@ -356,7 +384,7 @@ impl DequeStats {
 pub fn deque_stats(seeds: std::ops::Range<u64>) -> DequeStats {
     use compass::deque_spec::{check_deque_consistent, mutator_subgraph, DequeInterp};
     let stats = Mutex::new(DequeStats::default());
-    Explorer::default().explore(
+    let report = Explorer::default().explore(
         &random_over(seeds),
         &|strategy| {
             run_model(
@@ -396,7 +424,10 @@ pub fn deque_stats(seeds: std::ops::Range<u64>) -> DequeStats {
             }
         },
     );
-    stats.into_inner()
+    let mut stats = stats.into_inner();
+    stats.phase_ns = report.phase_ns;
+    stats.workers = report.workers;
+    stats
 }
 
 #[cfg(test)]

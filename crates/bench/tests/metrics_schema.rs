@@ -8,14 +8,15 @@
 //! The fields `threads`, `dpor`, and `wall_ns` depend on the host, the
 //! environment, and the clock, so the snapshots normalize them (to
 //! fixed values, in place — `Json::set` replaces without reordering)
-//! before comparing.
+//! before comparing. `phase_ns` and `workers` (schema v5) are zero and
+//! empty on a fresh `Metrics`, so they snapshot as-is.
 
 use compass_bench::metrics::{Metrics, SCHEMA_VERSION};
-use orc11::Json;
+use orc11::{Json, PhaseNs, WorkerStats};
 
 #[test]
 fn schema_version_is_stable() {
-    assert_eq!(SCHEMA_VERSION, 4);
+    assert_eq!(SCHEMA_VERSION, 5);
 }
 
 /// Pins the environment-dependent fields to snapshot-stable values.
@@ -40,12 +41,21 @@ fn rendered_document_matches_snapshot() {
         Json::arr().push(Json::obj().set("n", 1u64).set("mismatches", 0u64)),
     );
     let expected = r#"{
-  "schema_version": 4,
+  "schema_version": 5,
   "experiment": "e0_snapshot",
   "threads": 4,
   "dpor": false,
   "conform": false,
   "wall_ns": 0,
+  "phase_ns": {
+    "explore": 0,
+    "dpor": 0,
+    "check": 0,
+    "linearize": 0,
+    "conform": 0,
+    "io": 0
+  },
+  "workers": [],
   "params": {
     "seeds": 100,
     "budget": 500000
@@ -71,12 +81,21 @@ fn conform_documents_set_the_flag() {
     let mut m = Metrics::new("e11_conform");
     m.mark_conform();
     let expected = r#"{
-  "schema_version": 4,
+  "schema_version": 5,
   "experiment": "e11_conform",
   "threads": 4,
   "dpor": false,
   "conform": true,
   "wall_ns": 0,
+  "phase_ns": {
+    "explore": 0,
+    "dpor": 0,
+    "check": 0,
+    "linearize": 0,
+    "conform": 0,
+    "io": 0
+  },
+  "workers": [],
   "params": {},
   "data": {}
 }
@@ -88,12 +107,86 @@ fn conform_documents_set_the_flag() {
 fn empty_params_and_data_render_as_empty_objects() {
     let m = Metrics::new("e0_empty");
     let expected = r#"{
-  "schema_version": 4,
+  "schema_version": 5,
   "experiment": "e0_empty",
   "threads": 4,
   "dpor": false,
   "conform": false,
   "wall_ns": 0,
+  "phase_ns": {
+    "explore": 0,
+    "dpor": 0,
+    "check": 0,
+    "linearize": 0,
+    "conform": 0,
+    "io": 0
+  },
+  "workers": [],
+  "params": {},
+  "data": {}
+}
+"#;
+    assert_eq!(normalized(&m), expected);
+}
+
+#[test]
+fn fed_phase_and_worker_telemetry_renders_in_place() {
+    let mut m = Metrics::new("e0_fed");
+    m.add_phases(&PhaseNs {
+        explore: 10,
+        check: 5,
+        ..PhaseNs::ZERO
+    });
+    m.add_phases(&PhaseNs {
+        explore: 1,
+        io: 2,
+        ..PhaseNs::ZERO
+    });
+    m.add_workers(&[
+        WorkerStats {
+            executed: 4,
+            stolen: 1,
+            idle_waits: 0,
+            idle_wait_ns: 0,
+        },
+        WorkerStats {
+            executed: 3,
+            stolen: 0,
+            idle_waits: 2,
+            idle_wait_ns: 50,
+        },
+    ]);
+    let expected = r#"{
+  "schema_version": 5,
+  "experiment": "e0_fed",
+  "threads": 4,
+  "dpor": false,
+  "conform": false,
+  "wall_ns": 0,
+  "phase_ns": {
+    "explore": 11,
+    "dpor": 0,
+    "check": 5,
+    "linearize": 0,
+    "conform": 0,
+    "io": 2
+  },
+  "workers": [
+    {
+      "worker": 0,
+      "executed": 4,
+      "stolen": 1,
+      "idle_waits": 0,
+      "idle_wait_ns": 0
+    },
+    {
+      "worker": 1,
+      "executed": 3,
+      "stolen": 0,
+      "idle_waits": 2,
+      "idle_wait_ns": 50
+    }
+  ],
   "params": {},
   "data": {}
 }

@@ -198,6 +198,7 @@ pub fn write_bundle<G: CheckTarget>(
     out: &RunOutcome<G>,
     origin: &ExecOrigin,
 ) -> io::Result<PathBuf> {
+    let _span = orc11::trace::span(orc11::trace::Phase::Io, "bundle-write");
     let dir = fresh_dir(root, &format!("violation-{}", violation.rule))?;
     fs::write(
         dir.join("report.txt"),
@@ -234,6 +235,7 @@ pub fn write_error_bundle<G>(
     out: &RunOutcome<G>,
     origin: &ExecOrigin,
 ) -> io::Result<PathBuf> {
+    let _span = orc11::trace::span(orc11::trace::Phase::Io, "bundle-write");
     let dir = fresh_dir(root, "model-error")?;
     fs::write(
         dir.join("report.txt"),
@@ -276,6 +278,7 @@ pub fn write_conform_bundle<E: ConformEvent>(
     violation: &Violation,
     spec: &RoundSpec,
 ) -> io::Result<PathBuf> {
+    let _span = orc11::trace::span(orc11::trace::Phase::Io, "bundle-write");
     let dir = fresh_dir(root, &format!("conform-{subject}-{}", violation.rule))?;
     fs::write(dir.join("report.txt"), render_failure(g, violation, &[]))?;
     fs::write(dir.join("graph.dot"), crate::dot::to_dot(g, "violation"))?;

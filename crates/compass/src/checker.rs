@@ -19,8 +19,9 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 use orc11::{
-    dfs_strategy, pct_strategy, random_strategy, Coverage, DporStats, ExecStats, Explorer, Json,
-    OpRecord, RunOutcome, Sink, StepHistogram, Strategy, StrategyDesc, WorkSpec,
+    dfs_strategy, pct_strategy, random_strategy, trace, Coverage, DporStats, ExecStats, Explorer,
+    Json, OpRecord, PhaseNs, RunOutcome, Sink, StepHistogram, Strategy, StrategyDesc, WorkSpec,
+    WorkerStats,
 };
 
 use crate::bundle;
@@ -294,6 +295,16 @@ pub struct CheckReport {
     /// [`CheckReport::check_ns`] split by outcome: the violated clause,
     /// or [`PASS_RULE`] for checks that passed.
     pub check_ns_by_rule: BTreeMap<&'static str, u64>,
+    /// Per-phase busy-time breakdown (explore/dpor/check/linearize/
+    /// conform/io), averaged per worker so it sums to at most the run's
+    /// wall time — see `orc11::trace`. Wall-clock, like
+    /// [`CheckReport::check_ns`]: excluded from the byte-identical
+    /// guarantee and normalized by determinism tests.
+    pub phase_ns: PhaseNs,
+    /// Per-worker load-balance counters, indexed by worker. Scheduling-
+    /// dependent, so *not* part of [`CheckReport::to_json`]; metrics use
+    /// [`CheckReport::workers_json`].
+    pub workers: Vec<WorkerStats>,
     /// Where the first failure's replay bundle was written, if
     /// [`CheckOptions::bundle_dir`] was set and a failure occurred.
     pub bundle: Option<PathBuf>,
@@ -374,6 +385,14 @@ impl CheckReport {
             )
             .set("check_ns", self.check_ns)
             .set("check_ns_by_rule", check_ns_by_rule)
+            .set("phase_ns", self.phase_ns.to_json())
+    }
+
+    /// Machine-readable per-worker load-balance stats (for experiment
+    /// metrics). Kept out of [`CheckReport::to_json`] because the values
+    /// depend on scheduling, not just on the explored executions.
+    pub fn workers_json(&self) -> Json {
+        orc11::workers_to_json(&self.workers)
     }
 }
 
@@ -394,6 +413,13 @@ impl fmt::Display for CheckReport {
         if let Some((origin, v)) = self.samples.first() {
             write!(f, "; first ({origin}): {v}")?;
         }
+        if self.workers.len() > 1 {
+            write!(f, "; workers (executed/stolen/idle)")?;
+            for (i, w) in self.workers.iter().enumerate() {
+                let sep = if i == 0 { ' ' } else { ',' };
+                write!(f, "{sep} {i}:{}/{}/{}", w.executed, w.stolen, w.idle_waits)?;
+            }
+        }
         Ok(())
     }
 }
@@ -404,17 +430,22 @@ impl fmt::Display for CheckReport {
 struct Progress {
     enabled: bool,
     total: u64,
+    /// DFS runs report the live frontier depth instead of percent-of-
+    /// budget: a DFS budget is a cap, not a target, so "% done" would
+    /// overstate runs that exhaust early.
+    dfs: bool,
     start: Instant,
     done: AtomicU64,
     last: std::sync::Mutex<Instant>,
 }
 
 impl Progress {
-    fn new(enabled: bool, total: u64) -> Self {
+    fn new(enabled: bool, spec: &WorkSpec) -> Self {
         let now = Instant::now();
         Progress {
             enabled,
-            total,
+            total: spec.total(),
+            dfs: matches!(spec, WorkSpec::Dfs { .. } | WorkSpec::DfsDpor { .. }),
             start: now,
             done: AtomicU64::new(0),
             last: std::sync::Mutex::new(now),
@@ -435,10 +466,16 @@ impl Progress {
         }
         *last = now;
         let rate = done as f64 / now.duration_since(self.start).as_secs_f64().max(1e-9);
-        if self.total > done {
+        if self.dfs {
+            eprint!(
+                "\r{done} execs, {rate:.0}/s, frontier {}    ",
+                trace::frontier_depth()
+            );
+        } else if self.total > done {
+            let pct = 100.0 * done as f64 / self.total as f64;
             let eta = (self.total - done) as f64 / rate.max(1e-9);
             eprint!(
-                "\r{done}/{} execs, {rate:.0}/s, ETA {eta:.1}s    ",
+                "\r{done}/{} execs ({pct:.0}%), {rate:.0}/s, ETA {eta:.1}s    ",
                 self.total
             );
         } else {
@@ -549,7 +586,10 @@ where
             Ok(g) => {
                 self.graph_sizes.record(g.event_count() as u64);
                 let t0 = Instant::now();
-                let result = (self.check)(g);
+                let result = {
+                    let _span = trace::span(trace::Phase::Check, "check");
+                    (self.check)(g)
+                };
                 let dt = t0.elapsed().as_nanos() as u64;
                 self.check_ns += dt;
                 self.search.merge(&history::take_search_stats());
@@ -596,7 +636,7 @@ pub fn check_executions_with<G: CheckTarget>(
         Some(on) => exploration.work_spec().with_dpor(on),
         None => exploration.work_spec(),
     };
-    let progress = Progress::new(opts.progress, spec.total());
+    let progress = Progress::new(opts.progress, &spec);
     // Discard search counters a previous caller on this thread left
     // behind, so a serial (inline) run only sees its own checks.
     let _ = history::take_search_stats();
@@ -617,6 +657,8 @@ pub fn check_executions_with<G: CheckTarget>(
         stats: base.stats,
         steps_hist: base.steps_hist,
         coverage: base.coverage,
+        phase_ns: base.phase_ns,
+        workers: base.workers,
         ..CheckReport::default()
     };
     let mut first_failure: Option<ExecOrigin> = None;
@@ -634,6 +676,7 @@ pub fn check_executions_with<G: CheckTarget>(
     // hot loop free of I/O, and "earliest" is well defined whatever the
     // thread count.
     if let (Some(dir), Some(origin)) = (&opts.bundle_dir, &first_failure) {
+        let mark = trace::thread_phases();
         let out = program(origin.strategy());
         let written = match &out.result {
             Err(e) => bundle::write_error_bundle(dir, e, &out, origin).map(Some),
@@ -655,6 +698,11 @@ pub fn check_executions_with<G: CheckTarget>(
         // The replay's search counters are a duplicate of already-merged
         // work; keep them out of this thread's next report.
         let _ = history::take_search_stats();
+        // The replay and bundle write happen after the per-worker phase
+        // deltas were merged, so account them separately.
+        report
+            .phase_ns
+            .merge(&trace::thread_phases().delta_since(&mark));
     }
     report
 }
@@ -821,6 +869,7 @@ mod tests {
                 .to_json()
                 .set("check_ns", 0u64)
                 .set("check_ns_by_rule", Json::obj())
+                .set("phase_ns", PhaseNs::ZERO.to_json())
                 .render()
             };
             assert_eq!(run(1), run(4), "{exploration:?}");
@@ -851,6 +900,7 @@ mod tests {
             "search",
             "check_ns",
             "check_ns_by_rule",
+            "phase_ns",
         ] {
             assert!(j.get(key).is_some(), "missing key {key}");
         }

@@ -135,18 +135,26 @@ pub trait ConformSubject {
 /// seed is reported as [`ExecOrigin::Random`] in samples and the bundle.
 pub fn run_conformance<S: ConformSubject>(subject: &S, opts: &ConformOptions) -> CheckReport {
     let mut report = CheckReport::default();
+    let phase_mark = orc11::trace::thread_phases();
     for i in 0..opts.rounds {
         let spec = RoundSpec {
             seed: opts.seed0 + i,
             threads: opts.threads,
             ops_per_thread: opts.ops_per_thread,
         };
-        let hist = subject.round(&spec);
-        let g = hist.to_graph();
+        let (hist, g) = {
+            let _span = orc11::trace::span(orc11::trace::Phase::Conform, "conform-round");
+            let hist = subject.round(&spec);
+            let g = hist.to_graph();
+            (hist, g)
+        };
         report.execs += 1;
         report.graph_sizes.record(g.len() as u64);
         let t0 = Instant::now();
-        let result = S::Ev::check(&g);
+        let result = {
+            let _span = orc11::trace::span(orc11::trace::Phase::Check, "conform-check");
+            S::Ev::check(&g)
+        };
         let ns = t0.elapsed().as_nanos() as u64;
         report.search.merge(&take_search_stats());
         report.check_ns += ns;
@@ -174,6 +182,9 @@ pub fn run_conformance<S: ConformSubject>(subject: &S, opts: &ConformOptions) ->
             }
         }
     }
+    report
+        .phase_ns
+        .merge(&orc11::trace::thread_phases().delta_since(&phase_mark));
     report
 }
 

@@ -218,6 +218,7 @@ pub fn find_linearization<I: SeqInterp>(
     interp: &I,
     extra: &[(EventId, EventId)],
 ) -> Option<Vec<EventId>> {
+    let _span = orc11::trace::span(orc11::trace::Phase::Linearize, "linearize");
     let n = g.len();
     if n == 0 {
         SEARCH_STATS.with(|s| s.borrow_mut().searches += 1);

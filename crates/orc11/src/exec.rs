@@ -898,6 +898,7 @@ where
     S: Sync,
     O: Send,
 {
+    let _span = crate::trace::span(crate::trace::Phase::Explore, "exec");
     let n = bodies.len();
     let shared = Arc::new(ExecShared {
         state: Mutex::new(ExecState {

@@ -64,6 +64,16 @@ pub struct ExploreReport {
     /// Schedule coverage: distinct choice traces and (for DFS) decision
     /// tree nodes visited.
     pub coverage: crate::stats::Coverage,
+    /// Per-phase busy-time breakdown, averaged per worker so the entries
+    /// sum to at most the exploration's wall time (see [`crate::trace`]).
+    /// Wall-clock measurements: like `check_ns` in the checker, this
+    /// field is excluded from the byte-identical determinism guarantee
+    /// and normalized by determinism tests.
+    pub phase_ns: crate::trace::PhaseNs,
+    /// Per-worker load-balance counters, indexed by worker. Scheduling-
+    /// dependent, so *not* part of [`ExploreReport::to_json`] — use
+    /// [`ExploreReport::workers_json`] for metrics.
+    pub workers: Vec<crate::stats::WorkerStats>,
 }
 
 impl Default for ExploreReport {
@@ -88,6 +98,8 @@ impl ExploreReport {
             stats: Default::default(),
             steps_hist: Default::default(),
             coverage: Default::default(),
+            phase_ns: Default::default(),
+            workers: Vec::new(),
         }
     }
 
@@ -133,6 +145,13 @@ impl ExploreReport {
         self.stats.merge(&other.stats);
         self.steps_hist.merge(&other.steps_hist);
         self.coverage.merge(&other.coverage);
+        self.phase_ns.merge(&other.phase_ns);
+        if self.workers.len() < other.workers.len() {
+            self.workers.resize(other.workers.len(), Default::default());
+        }
+        for (mine, theirs) in self.workers.iter_mut().zip(other.workers.iter()) {
+            mine.merge(theirs);
+        }
         for (desc, err) in other.errors {
             self.keep_error(desc, err);
         }
@@ -163,6 +182,15 @@ impl ExploreReport {
                     .set("distinct_traces", self.coverage.distinct_traces())
                     .set("dfs_nodes", self.coverage.dfs_nodes),
             )
+            .set("phase_ns", self.phase_ns.to_json())
+    }
+
+    /// The per-worker load-balance counters as JSON (worker-index
+    /// sorted). Kept separate from [`ExploreReport::to_json`] because
+    /// worker stats depend on the run's scheduling, which would break
+    /// the byte-identical guarantee that function carries.
+    pub fn workers_json(&self) -> crate::Json {
+        crate::stats::workers_to_json(&self.workers)
     }
 
     /// Panics with a readable message if any execution errored.
@@ -192,7 +220,22 @@ impl fmt::Display for ExploreReport {
             self.error_count,
             if self.exhausted { " (exhaustive)" } else { "" },
             self.total_steps
-        )
+        )?;
+        if self.workers.len() > 1 {
+            write!(f, "; workers (executed/stolen/idle)")?;
+            for (i, w) in self.workers.iter().enumerate() {
+                write!(
+                    f,
+                    "{} {}:{}/{}/{}",
+                    if i == 0 { "" } else { "," },
+                    i,
+                    w.executed,
+                    w.stolen,
+                    w.idle_waits
+                )?;
+            }
+        }
+        Ok(())
     }
 }
 
@@ -516,17 +559,20 @@ mod tests {
             WorkSpec::Dfs { budget: 10_000 },
             WorkSpec::DfsDpor { budget: 10_000 },
         ] {
+            // phase_ns is wall-clock (like check_ns) and so exempt from
+            // the byte-identical guarantee — normalize it.
+            let norm = |r: &ExploreReport| {
+                r.to_json()
+                    .set("phase_ns", crate::trace::PhaseNs::ZERO.to_json())
+                    .render()
+            };
             let serial = Explorer::serial().explore(&spec, &sb, |_, _| {});
             let parallel = Explorer::with_threads(4).explore(&spec, &sb, |_, _| {});
-            assert_eq!(
-                serial.to_json().render(),
-                parallel.to_json().render(),
-                "spec {spec:?}"
-            );
+            assert_eq!(norm(&serial), norm(&parallel), "spec {spec:?}");
             // The racy program exercises the error path too.
             let serial = Explorer::serial().explore(&spec, &racy, |_, _| {});
             let parallel = Explorer::with_threads(4).explore(&spec, &racy, |_, _| {});
-            assert_eq!(serial.to_json().render(), parallel.to_json().render());
+            assert_eq!(norm(&serial), norm(&parallel));
             assert_eq!(serial.errors, parallel.errors, "spec {spec:?}");
         }
     }

@@ -88,6 +88,7 @@ pub mod rng;
 mod sched;
 pub mod stats;
 pub mod sync;
+pub mod trace;
 mod tview;
 mod val;
 mod view;
@@ -111,7 +112,8 @@ pub use sched::{
     dfs_strategy, next_dfs_prefix, pct_strategy, random_strategy, replay_strategy, Choice,
     ChoiceKind, DfsStrategy, PctStrategy, RandomStrategy, Strategy,
 };
-pub use stats::{Coverage, DporStats, ExecStats, StepHistogram};
+pub use stats::{workers_to_json, Coverage, DporStats, ExecStats, StepHistogram, WorkerStats};
+pub use trace::{Phase, PhaseNs};
 pub use tview::ThreadView;
 pub use val::{Loc, ThreadId, Val};
 pub use view::{Timestamp, View};

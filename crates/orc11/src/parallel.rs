@@ -24,7 +24,9 @@
 use crate::exec::RunOutcome;
 use crate::explore::ExploreReport;
 use crate::model::Model;
+use crate::trace;
 use crate::work::{StrategyDesc, WorkSource, WorkSpec};
+use std::time::{Duration, Instant};
 
 /// Cap on auto-detected parallelism: exploration workers each spawn the
 /// model's own (gated) thread group, so running dozens of workers per
@@ -74,22 +76,66 @@ pub(crate) fn resolve_threads(explicit: usize) -> usize {
     }
 }
 
+/// Throttled executions/sec counter-track emitter (one per worker;
+/// samples at most every 100ms, and only while a trace session is on).
+struct RateMeter {
+    window_start: Instant,
+    count: u64,
+}
+
+impl RateMeter {
+    const WINDOW: Duration = Duration::from_millis(100);
+
+    fn new() -> Self {
+        RateMeter {
+            window_start: Instant::now(),
+            count: 0,
+        }
+    }
+
+    fn tick(&mut self) {
+        if !trace::enabled() {
+            return;
+        }
+        self.count += 1;
+        let elapsed = self.window_start.elapsed();
+        if elapsed >= Self::WINDOW {
+            let rate = self.count as f64 / elapsed.as_secs_f64();
+            trace::counter("execs_per_sec", rate as u64);
+            self.window_start = Instant::now();
+            self.count = 0;
+        }
+    }
+}
+
 /// One worker's loop: claim batches until the source drains, recording
 /// every outcome into `report` and `sink`. This is the *only* place in
 /// the workspace that runs a model under an exploration strategy — the
 /// serial drivers are this function called once on the current thread.
-fn drive<M, S>(source: &WorkSource, model: &M, report: &mut ExploreReport, sink: &mut S)
-where
+///
+/// The worker's per-phase time delta (see [`crate::trace`]) is
+/// accumulated into `report.phase_ns` so the merged report carries the
+/// exploration's total busy time per phase.
+fn drive<M, S>(
+    source: &WorkSource,
+    model: &M,
+    report: &mut ExploreReport,
+    sink: &mut S,
+    worker: usize,
+) where
     M: Model + ?Sized,
     S: Sink<M::Out>,
 {
-    while let Some(batch) = source.claim() {
+    let phase_mark = trace::thread_phases();
+    let mut rate = RateMeter::new();
+    while let Some(batch) = source.claim(worker) {
+        let _batch_span = trace::span(trace::Phase::Explore, "batch");
         for desc in batch {
             let mut guard = source.guard();
             let out = model.run(desc.strategy());
             // Feed the frontier before the (possibly slow) sink runs, so
             // sibling workers are never starved by a long check.
-            source.complete(&desc, &out.trace, &out.accesses);
+            source.complete(worker, &desc, &out.trace, &out.accesses);
             guard.disarm();
             if let StrategyDesc::Dfs { prefix } = &desc {
                 report
@@ -98,8 +144,12 @@ where
             }
             report.record(&desc, &out);
             sink.on_outcome(&desc, &out);
+            rate.tick();
         }
     }
+    report
+        .phase_ns
+        .merge(&trace::thread_phases().delta_since(&phase_mark));
 }
 
 /// Runs `spec` over `model` with `threads` workers (callers resolve
@@ -121,7 +171,7 @@ where
     let results: Vec<(ExploreReport, S)> = if threads <= 1 {
         let mut report = ExploreReport::with_max_errors(max_errors);
         let mut sink = make_sink(0);
-        drive(&source, model, &mut report, &mut sink);
+        drive(&source, model, &mut report, &mut sink, 0);
         vec![(report, sink)]
     } else {
         std::thread::scope(|scope| {
@@ -130,9 +180,10 @@ where
             let handles: Vec<_> = (0..threads)
                 .map(|i| {
                     scope.spawn(move || {
+                        trace::register_worker(i);
                         let mut report = ExploreReport::with_max_errors(max_errors);
                         let mut sink = make_sink(i);
-                        drive(source, model, &mut report, &mut sink);
+                        drive(source, model, &mut report, &mut sink, i);
                         (report, sink)
                     })
                 })
@@ -155,5 +206,14 @@ where
     merged.exhausted = source.exhausted();
     merged.truncated = source.truncated();
     merged.dpor = source.dpor_stats();
+    // Per-worker busy time was summed by the merge; report the mean per
+    // worker instead, so the six phases remain a wall-clock-bounded
+    // attribution regardless of thread count.
+    merged.phase_ns = merged.phase_ns.div_by(threads.max(1) as u64);
+    let mut workers = source.worker_stats();
+    if workers.len() < threads {
+        workers.resize(threads, Default::default());
+    }
+    merged.workers = workers;
     (merged, sinks)
 }

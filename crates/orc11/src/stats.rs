@@ -388,6 +388,81 @@ impl fmt::Display for DporStats {
     }
 }
 
+/// Per-worker load-balance counters collected by the work-stealing
+/// [`crate::WorkSource`].
+///
+/// Worker stats are a property of one particular run's scheduling — how
+/// the OS happened to interleave the workers — so unlike the rest of an
+/// exploration report they are *not* deterministic across thread counts
+/// and are kept out of `ExploreReport::to_json`; metrics emit them
+/// through [`workers_to_json`] (sorted by worker index).
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Executions this worker claimed and ran.
+    pub executed: u64,
+    /// Claimed DFS prefixes produced by a *different* worker (true
+    /// steals; seed-chunk claims and own-produced prefixes don't count).
+    pub stolen: u64,
+    /// Times this worker blocked on an empty frontier while work was
+    /// still in flight.
+    pub idle_waits: u64,
+    /// Total nanoseconds spent blocked in those waits.
+    pub idle_wait_ns: u64,
+}
+
+impl WorkerStats {
+    /// Adds `other` into `self` (aggregating the same worker index
+    /// across explorations).
+    pub fn merge(&mut self, other: &WorkerStats) {
+        self.executed += other.executed;
+        self.stolen += other.stolen;
+        self.idle_waits += other.idle_waits;
+        self.idle_wait_ns += other.idle_wait_ns;
+    }
+
+    /// Machine-readable form (without the worker index; see
+    /// [`workers_to_json`]).
+    pub fn to_json(&self) -> Json {
+        Json::obj()
+            .set("executed", self.executed)
+            .set("stolen", self.stolen)
+            .set("idle_waits", self.idle_waits)
+            .set("idle_wait_ns", self.idle_wait_ns)
+    }
+}
+
+impl fmt::Display for WorkerStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} executed, {} stolen, {} idle waits ({:.1}ms)",
+            self.executed,
+            self.stolen,
+            self.idle_waits,
+            self.idle_wait_ns as f64 / 1e6
+        )
+    }
+}
+
+/// Renders a worker-stats slice as a JSON array sorted by worker index
+/// (the slice is already index-ordered — index `i` is worker `i`).
+pub fn workers_to_json(workers: &[WorkerStats]) -> Json {
+    Json::Arr(
+        workers
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                Json::obj()
+                    .set("worker", i)
+                    .set("executed", w.executed)
+                    .set("stolen", w.stolen)
+                    .set("idle_waits", w.idle_waits)
+                    .set("idle_wait_ns", w.idle_wait_ns)
+            })
+            .collect(),
+    )
+}
+
 /// Schedule-coverage tracking: how much of the interleaving space an
 /// exploration actually visited.
 #[derive(Clone, Debug, Default)]
@@ -582,6 +657,32 @@ mod tests {
             hj.get("buckets").map(|b| b.render()),
             Some(r#"[{"lo":4,"hi":7,"count":1}]"#.to_string())
         );
+    }
+
+    #[test]
+    fn worker_stats_merge_and_json() {
+        let mut a = WorkerStats {
+            executed: 3,
+            stolen: 1,
+            idle_waits: 2,
+            idle_wait_ns: 500,
+        };
+        a.merge(&WorkerStats {
+            executed: 1,
+            stolen: 0,
+            idle_waits: 1,
+            idle_wait_ns: 100,
+        });
+        assert_eq!(
+            (a.executed, a.stolen, a.idle_waits, a.idle_wait_ns),
+            (4, 1, 3, 600)
+        );
+        let j = workers_to_json(&[a, WorkerStats::default()]);
+        assert_eq!(
+            j.render(),
+            r#"[{"worker":0,"executed":4,"stolen":1,"idle_waits":3,"idle_wait_ns":600},{"worker":1,"executed":0,"stolen":0,"idle_waits":0,"idle_wait_ns":0}]"#
+        );
+        assert!(format!("{a}").contains("4 executed"));
     }
 
     #[test]

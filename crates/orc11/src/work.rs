@@ -20,9 +20,11 @@
 
 use crate::dpor::{analyze, dpor_from_env, DporState, StepAccess};
 use crate::sched::{dfs_strategy, pct_strategy, random_strategy, Choice, Strategy};
-use crate::stats::DporStats;
+use crate::stats::{DporStats, WorkerStats};
 use crate::sync::{Condvar, Mutex};
+use crate::trace::{gauge_frontier_depth, gauge_sleep_hits, span, Phase};
 use std::fmt;
+use std::time::Instant;
 
 /// How many random/PCT seeds a worker claims per lock acquisition.
 const SEED_CHUNK: u64 = 16;
@@ -170,6 +172,20 @@ impl SeedKind {
     }
 }
 
+/// A frontier entry: the forced choice prefix plus which worker pushed
+/// it, so a claim by a *different* worker counts as a steal in the
+/// load-balance stats. The producer is bookkeeping only — it never
+/// influences which prefixes are visited.
+#[derive(Debug)]
+struct Prefix {
+    choices: Vec<u32>,
+    producer: usize,
+}
+
+/// Producer tag of the root prefix (claimed by whoever gets there
+/// first; not a steal).
+const NO_PRODUCER: usize = usize::MAX;
+
 #[derive(Debug)]
 enum State {
     Seeds {
@@ -179,7 +195,7 @@ enum State {
     },
     Dfs {
         /// LIFO stack of unexplored forced prefixes (top = deepest).
-        frontier: Vec<Vec<u32>>,
+        frontier: Vec<Prefix>,
         /// Executions issued so far (claims, not completions).
         issued: u64,
         budget: u64,
@@ -193,15 +209,28 @@ enum State {
     },
 }
 
+/// Everything behind the source's one lock: the work enumeration plus
+/// the per-worker load-balance counters (indexed by worker; grown
+/// lazily on first claim).
+#[derive(Debug)]
+struct Shared {
+    work: State,
+    workers: Vec<WorkerStats>,
+}
+
 /// A concurrent source of [`StrategyDesc`]s for one exploration.
 ///
 /// Workers repeatedly [`claim`](WorkSource::claim) a batch, run each
 /// descriptor, and [`complete`](WorkSource::complete) it with the
 /// recorded trace (which, for DFS, feeds the frontier). All coordination
 /// is internal; the source is shared by reference between threads.
+///
+/// Both calls take the caller's worker index (serial exploration passes
+/// 0) purely for the per-worker [`WorkerStats`]; the index never
+/// influences what work is handed out.
 #[derive(Debug)]
 pub struct WorkSource {
-    state: Mutex<State>,
+    state: Mutex<Shared>,
     available: Condvar,
     /// Whether the spec uses DPOR — immutable, so workers can run the
     /// O(trace²) race analysis of [`WorkSource::complete`] outside the
@@ -229,14 +258,20 @@ impl WorkSource {
                 end: seed0.saturating_add(iters),
             },
             WorkSpec::Dfs { budget } => State::Dfs {
-                frontier: vec![Vec::new()],
+                frontier: vec![Prefix {
+                    choices: Vec::new(),
+                    producer: NO_PRODUCER,
+                }],
                 issued: 0,
                 budget,
                 active: 0,
                 dpor: None,
             },
             WorkSpec::DfsDpor { budget } => State::Dfs {
-                frontier: vec![Vec::new()],
+                frontier: vec![Prefix {
+                    choices: Vec::new(),
+                    producer: NO_PRODUCER,
+                }],
                 issued: 0,
                 budget,
                 active: 0,
@@ -244,7 +279,10 @@ impl WorkSource {
             },
         };
         WorkSource {
-            state: Mutex::new(state),
+            state: Mutex::new(Shared {
+                work: state,
+                workers: Vec::new(),
+            }),
             available: Condvar::new(),
             dpor: matches!(spec, WorkSpec::DfsDpor { .. }),
         }
@@ -254,10 +292,14 @@ impl WorkSource {
     /// over (budget reached, or nothing left and no worker can produce
     /// more). Blocks when the DFS frontier is momentarily empty but
     /// other workers are still running.
-    pub fn claim(&self) -> Option<Vec<StrategyDesc>> {
+    pub fn claim(&self, worker: usize) -> Option<Vec<StrategyDesc>> {
         let mut st = self.state.lock();
+        if st.workers.len() <= worker {
+            st.workers.resize(worker + 1, WorkerStats::default());
+        }
         loop {
-            match &mut *st {
+            let Shared { work, workers } = &mut *st;
+            match work {
                 State::Seeds { kind, next, end } => {
                     if *next >= *end {
                         return None;
@@ -265,6 +307,7 @@ impl WorkSource {
                     let n = SEED_CHUNK.min(*end - *next);
                     let batch = (*next..*next + n).map(|seed| kind.desc(seed)).collect();
                     *next += n;
+                    workers[worker].executed += n;
                     return Some(batch);
                 }
                 State::Dfs {
@@ -280,14 +323,24 @@ impl WorkSource {
                     if let Some(prefix) = frontier.pop() {
                         *issued += 1;
                         *active += 1;
-                        return Some(vec![StrategyDesc::Dfs { prefix }]);
+                        workers[worker].executed += 1;
+                        if prefix.producer != NO_PRODUCER && prefix.producer != worker {
+                            workers[worker].stolen += 1;
+                        }
+                        gauge_frontier_depth(frontier.len() as u64);
+                        return Some(vec![StrategyDesc::Dfs {
+                            prefix: prefix.choices,
+                        }]);
                     }
                     if *active == 0 {
                         return None;
                     }
-                    self.available.wait(&mut st);
+                    workers[worker].idle_waits += 1;
                 }
             }
+            let t0 = Instant::now();
+            self.available.wait(&mut st);
+            st.workers[worker].idle_wait_ns += t0.elapsed().as_nanos() as u64;
         }
     }
 
@@ -307,25 +360,43 @@ impl WorkSource {
     /// instructions requires the reversal (see
     /// [`crate::dpor`]); `accesses` must then be the execution's
     /// [`crate::RunOutcome::accesses`].
-    pub fn complete(&self, desc: &StrategyDesc, trace: &[Choice], accesses: &[StepAccess]) {
+    pub fn complete(
+        &self,
+        worker: usize,
+        desc: &StrategyDesc,
+        trace: &[Choice],
+        accesses: &[StepAccess],
+    ) {
         let StrategyDesc::Dfs { prefix } = desc else {
             return;
         };
         // The race analysis is O(trace² · threads) and pure, so run it
         // before taking the lock: workers analyse their own executions
         // concurrently and only serialize to apply the demands.
-        let analysis = self.dpor.then(|| analyze(trace, accesses));
+        let analysis = self.dpor.then(|| {
+            let _span = span(Phase::Dpor, "dpor-analyze");
+            analyze(trace, accesses)
+        });
         let mut st = self.state.lock();
         if let State::Dfs {
             frontier,
             active,
             dpor,
             ..
-        } = &mut *st
+        } = &mut st.work
         {
             match (dpor, &analysis) {
                 (Some(dpor), Some(analysis)) => {
-                    dpor.on_complete(prefix.len(), trace, analysis, frontier)
+                    // on_complete speaks plain prefixes; tag the fresh
+                    // ones with this worker for steal accounting (push
+                    // order is preserved, so visit order is unchanged).
+                    let mut fresh: Vec<Vec<u32>> = Vec::new();
+                    dpor.on_complete(prefix.len(), trace, analysis, &mut fresh);
+                    frontier.extend(fresh.into_iter().map(|choices| Prefix {
+                        choices,
+                        producer: worker,
+                    }));
+                    gauge_sleep_hits(dpor.stats.sleep_hits);
                 }
                 _ => {
                     for d in prefix.len()..trace.len() {
@@ -333,11 +404,15 @@ impl WorkSource {
                         for a in (c.chosen + 1..c.arity).rev() {
                             let mut p: Vec<u32> = trace[..d].iter().map(|c| c.chosen).collect();
                             p.push(a);
-                            frontier.push(p);
+                            frontier.push(Prefix {
+                                choices: p,
+                                producer: worker,
+                            });
                         }
                     }
                 }
             }
+            gauge_frontier_depth(frontier.len() as u64);
             *active -= 1;
             self.available.notify_all();
         }
@@ -358,7 +433,7 @@ impl WorkSource {
     /// Whether the DFS tree was fully enumerated (always `false` for
     /// seed-based specs). Meaningful once all workers have returned.
     pub fn exhausted(&self) -> bool {
-        match &*self.state.lock() {
+        match &self.state.lock().work {
             State::Seeds { .. } => false,
             State::Dfs {
                 frontier, active, ..
@@ -376,7 +451,7 @@ impl WorkSource {
     /// thread counts; consumers must check this flag (reported as
     /// `truncated` in [`crate::ExploreReport`]).
     pub fn truncated(&self) -> bool {
-        match &*self.state.lock() {
+        match &self.state.lock().work {
             State::Seeds { .. } => false,
             State::Dfs {
                 frontier,
@@ -392,15 +467,22 @@ impl WorkSource {
     /// DPOR. Deterministic across worker counts once all workers have
     /// returned (see [`crate::dpor`]).
     pub fn dpor_stats(&self) -> Option<DporStats> {
-        match &*self.state.lock() {
+        match &self.state.lock().work {
             State::Seeds { .. } => None,
             State::Dfs { dpor, .. } => dpor.as_ref().map(|d| d.stats),
         }
     }
 
+    /// The per-worker load-balance counters, indexed by worker (workers
+    /// that never claimed are absent from the tail). Scheduling-
+    /// dependent — see [`WorkerStats`].
+    pub fn worker_stats(&self) -> Vec<WorkerStats> {
+        self.state.lock().workers.clone()
+    }
+
     fn release(&self) {
         let mut st = self.state.lock();
-        if let State::Dfs { active, .. } = &mut *st {
+        if let State::Dfs { active, .. } = &mut st.work {
             *active -= 1;
             self.available.notify_all();
         }
@@ -474,32 +556,38 @@ mod tests {
         // The frontier, drained by one worker, visits the same order.
         let source = WorkSource::new(&WorkSpec::Dfs { budget: 100 });
         let mut visited = Vec::new();
-        while let Some(batch) = source.claim() {
+        while let Some(batch) = source.claim(0) {
             for desc in batch {
                 let StrategyDesc::Dfs { prefix } = &desc else {
                     unreachable!()
                 };
                 let trace = run_tree(prefix.clone());
                 visited.push((trace[0].chosen, trace[1].chosen));
-                source.complete(&desc, &trace, &[]);
+                source.complete(0, &desc, &trace, &[]);
             }
         }
         assert_eq!(visited, reference);
         assert!(source.exhausted());
+        // One worker claimed everything; nothing is a steal.
+        let workers = source.worker_stats();
+        assert_eq!(workers.len(), 1);
+        assert_eq!(workers[0].executed, reference.len() as u64);
+        assert_eq!(workers[0].stolen, 0);
+        assert_eq!(workers[0].idle_waits, 0);
     }
 
     #[test]
     fn dfs_budget_truncates_and_is_not_exhausted() {
         let source = WorkSource::new(&WorkSpec::Dfs { budget: 3 });
         let mut n = 0;
-        while let Some(batch) = source.claim() {
+        while let Some(batch) = source.claim(0) {
             for desc in batch {
                 let StrategyDesc::Dfs { prefix } = &desc else {
                     unreachable!()
                 };
                 let trace = run_tree(prefix.clone());
                 n += 1;
-                source.complete(&desc, &trace, &[]);
+                source.complete(0, &desc, &trace, &[]);
             }
         }
         assert_eq!(n, 3);
@@ -513,7 +601,7 @@ mod tests {
             seed0: 5,
         });
         let mut seeds = Vec::new();
-        while let Some(batch) = source.claim() {
+        while let Some(batch) = source.claim(0) {
             assert!(batch.len() as u64 <= SEED_CHUNK);
             for desc in batch {
                 match desc {

@@ -55,10 +55,29 @@ PY
 )
 fi
 
+# Roll the per-phase time profile (schema v5 `phase_ns`, fed from the
+# span-tracing subsystem) up across every experiment document.
+phases='null'
+if command -v python3 >/dev/null 2>&1; then
+  phases=$(python3 - "$out" <<'PY'
+import glob, json, os, sys
+tot = {}
+for f in sorted(glob.glob(os.path.join(sys.argv[1], "*.json"))):
+    name = os.path.basename(f)
+    if name == "summary.json":
+        continue
+    doc = json.load(open(f))
+    for k, v in doc.get("phase_ns", {}).items():
+        tot[k] = tot.get(k, 0) + v
+print(json.dumps(tot if tot else None, separators=(", ", ": ")))
+PY
+)
+fi
+
 # Collect the per-experiment metrics into one summary document.
 summary="$out/summary.json"
 {
-  printf '{\n  "schema_version": 4,\n  "dpor_pruning": %s,\n  "conform": %s,\n  "experiments": [\n' "$pruning" "$conform"
+  printf '{\n  "schema_version": 5,\n  "dpor_pruning": %s,\n  "conform": %s,\n  "phase_ns": %s,\n  "experiments": [\n' "$pruning" "$conform" "$phases"
   first=1
   for exp in "${exps[@]}"; do
     f="$out/$exp.json"

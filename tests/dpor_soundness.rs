@@ -219,6 +219,7 @@ fn buggy_structure_violations_survive_dpor() {
         r.to_json()
             .set("check_ns", 0u64)
             .set("check_ns_by_rule", Json::obj())
+            .set("phase_ns", orc11::PhaseNs::ZERO.to_json())
             .render_pretty()
     };
     assert_eq!(normalize(&serial), normalize(&parallel));

@@ -51,24 +51,31 @@ fn sb_litmus_reports_are_thread_count_independent() {
         WorkSpec::Dfs { budget: 10_000 },
         WorkSpec::DfsDpor { budget: 10_000 },
     ] {
+        let norm = |r: &orc11::ExploreReport| {
+            r.to_json()
+                .set("phase_ns", orc11::PhaseNs::ZERO.to_json())
+                .render()
+        };
         let serial = Explorer::serial().explore(&spec, &sb, |_, _| {});
         let parallel = Explorer::with_threads(4).explore(&spec, &sb, |_, _| {});
         assert_eq!(
-            serial.to_json().render(),
-            parallel.to_json().render(),
+            norm(&serial),
+            norm(&parallel),
             "threads=4 must match serial for {spec:?}"
         );
     }
 }
 
-/// The checker report with its wall-clock fields pinned; everything
-/// else — violation counts, per-clause attribution, samples, search
-/// stats, coverage — must be thread-count independent.
+/// The checker report with its wall-clock fields pinned (`check_ns`,
+/// `check_ns_by_rule`, and the per-phase `phase_ns` breakdown);
+/// everything else — violation counts, per-clause attribution, samples,
+/// search stats, coverage — must be thread-count independent.
 fn normalized(report: &compass::checker::CheckReport) -> String {
     report
         .to_json()
         .set("check_ns", 0u64)
         .set("check_ns_by_rule", Json::obj())
+        .set("phase_ns", orc11::PhaseNs::ZERO.to_json())
         .render_pretty()
 }
 
@@ -165,6 +172,98 @@ fn budget_truncated_dfs_reports_say_truncated() {
         );
         assert!(report_big.exhausted && !report_big.truncated);
     }
+}
+
+/// Reads every file under `dir` (recursively), as `(relative path,
+/// bytes)` sorted by path — the comparable form of a replay bundle.
+fn dir_contents(dir: &std::path::Path) -> Vec<(String, Vec<u8>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![dir.to_path_buf()];
+    while let Some(d) = stack.pop() {
+        for entry in std::fs::read_dir(&d).expect("readable bundle dir") {
+            let p = entry.expect("dir entry").path();
+            if p.is_dir() {
+                stack.push(p);
+            } else {
+                let rel = p
+                    .strip_prefix(dir)
+                    .expect("path under root")
+                    .to_string_lossy()
+                    .into_owned();
+                out.push((rel, std::fs::read(&p).expect("readable bundle file")));
+            }
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Tracing must not perturb determinism: with a trace session active,
+/// the (wall-clock-normalized) checker report and the replay bundle are
+/// byte-identical to a tracing-off run, at 1 and 4 threads — timestamps
+/// exist only in the trace file. Uses the buggy queue so the comparison
+/// covers violation attribution and bundle capture, not just zeros.
+#[test]
+fn tracing_on_and_off_runs_are_byte_identical() {
+    let exploration = Exploration::Random {
+        iters: 120,
+        seed0: 0,
+    };
+    let tmp = std::env::temp_dir().join(format!("compass-trace-det-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    let run = |threads: usize, bundle_root: &std::path::Path| {
+        let opts = CheckOptions {
+            threads,
+            bundle_dir: Some(bundle_root.to_path_buf()),
+            ..CheckOptions::default()
+        };
+        let report = check_executions_with(
+            &exploration,
+            &opts,
+            |strategy| {
+                run_model(
+                    &Config::default(),
+                    strategy,
+                    RelaxedMsQueue::new,
+                    vec![
+                        Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
+                            q.enqueue(ctx, Val::Int(1));
+                        }) as BodyFn<'_, _, ()>,
+                        Box::new(|ctx: &mut ThreadCtx, q: &RelaxedMsQueue| {
+                            q.try_dequeue(ctx);
+                        }),
+                    ],
+                    |_, q, _| q.obj().snapshot(),
+                )
+            },
+            check_queue_consistent,
+        );
+        let bundle = report.bundle.clone().expect("buggy queue writes a bundle");
+        (normalized(&report), dir_contents(&bundle))
+    };
+    for threads in [1usize, 4] {
+        let off_root = tmp.join(format!("off-{threads}"));
+        let (off_report, off_bundle) = run(threads, &off_root);
+
+        let trace_path = tmp.join(format!("trace-{threads}.json"));
+        orc11::trace::start(&trace_path).expect("no other trace session active");
+        let on_root = tmp.join(format!("on-{threads}"));
+        let (on_report, on_bundle) = run(threads, &on_root);
+        let summary = orc11::trace::finish()
+            .expect("trace file writable")
+            .expect("session was active");
+        assert!(summary.events > 0, "tracing-on run recorded no events");
+
+        assert_eq!(
+            off_report, on_report,
+            "tracing changed the report at {threads} threads"
+        );
+        assert_eq!(
+            off_bundle, on_bundle,
+            "tracing changed the replay bundle at {threads} threads"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&tmp);
 }
 
 /// Random/PCT runs always perform exactly the requested iterations —

@@ -1,0 +1,117 @@
+//! Integration: the Chrome trace-event export of `orc11::trace`.
+//!
+//! Runs real explorations under a trace session and validates the
+//! written file structurally — parseable JSON with a `traceEvents`
+//! array, well-nested B/E duration events per track, monotone
+//! timestamps per track, and pids/tids that map onto the worker count
+//! (pid 0 everywhere; main = tid 0, worker *i* = tid *i* + 1). The
+//! session machinery is process-global, so everything session-related
+//! lives in this one `#[test]` (integration tests share a process;
+//! concurrent sessions in sibling tests would interleave).
+
+use orc11::trace;
+use orc11::{
+    run_model, BodyFn, Config, Explorer, Json, Loc, Mode, RunOutcome, ThreadCtx, Val, WorkSpec,
+};
+
+/// The store-buffering litmus — enough schedule branching for DFS/DPOR
+/// to exercise spans, backtrack analysis, and frontier gauges.
+fn sb(strategy: Box<dyn orc11::Strategy>) -> RunOutcome<(i64, i64)> {
+    run_model(
+        &Config::default(),
+        strategy,
+        |ctx| (ctx.alloc("x", Val::Int(0)), ctx.alloc("y", Val::Int(0))),
+        vec![
+            Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
+                ctx.write(x, Val::Int(1), Mode::Relaxed);
+                ctx.read(y, Mode::Relaxed).expect_int()
+            }) as BodyFn<'_, _, _>,
+            Box::new(|ctx: &mut ThreadCtx, &(x, y): &(Loc, Loc)| {
+                ctx.write(y, Val::Int(1), Mode::Relaxed);
+                ctx.read(x, Mode::Relaxed).expect_int()
+            }),
+        ],
+        |_, _, outs| (outs[0], outs[1]),
+    )
+}
+
+const THREADS: usize = 4;
+
+#[test]
+fn trace_file_is_structurally_valid() {
+    let tmp = std::env::temp_dir().join(format!("compass-trace-fmt-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).unwrap();
+    let path = tmp.join("exploration.trace.json");
+
+    assert!(
+        trace::finish().unwrap().is_none(),
+        "no session should be active at test start"
+    );
+    assert!(!trace::enabled());
+
+    trace::start(&path).expect("fresh session starts");
+    assert!(trace::enabled());
+    // A second start while active must refuse, not corrupt the session.
+    let err = trace::start(tmp.join("other.json")).unwrap_err();
+    assert_eq!(err.kind(), std::io::ErrorKind::AlreadyExists);
+
+    // A DPOR DFS exploration on 4 workers: exec + batch + dpor-analyze
+    // spans, frontier-depth counter events, worker thread registration.
+    let report = Explorer::with_threads(THREADS).explore(
+        &WorkSpec::DfsDpor { budget: 10_000 },
+        &sb,
+        |_, _| {},
+    );
+    assert!(report.exhausted, "SB must exhaust within budget");
+
+    let summary = trace::finish()
+        .expect("trace file writable")
+        .expect("session was active");
+    assert!(!trace::enabled());
+    assert_eq!(summary.path, path);
+    assert!(summary.events > 0, "exploration must record events");
+    assert!(
+        summary.tracks >= 2,
+        "expected main plus at least one worker track, got {}",
+        summary.tracks
+    );
+
+    // Structural validation: parseable, pid 0, monotone ts per track,
+    // well-nested B/E per track, numeric counter values.
+    let check = trace::validate_trace_file(&path).expect("trace validates");
+    assert_eq!(check.events, summary.events);
+    assert_eq!(check.tracks, summary.tracks);
+    assert!(check.spans > 0, "expected B/E span pairs");
+    assert!(
+        check.counters > 0,
+        "expected frontier-depth counter samples from the DFS claim path"
+    );
+    // Tids map onto the worker count: main = 0, worker i = i + 1, and
+    // nothing else (no anonymous >= 1000 tracks in this workload).
+    assert!(
+        check.max_tid as usize <= THREADS,
+        "tid {} exceeds the {} worker threads",
+        check.max_tid,
+        THREADS
+    );
+
+    // The raw text round-trips through the hand-rolled parser too (the
+    // validator uses it, but pin the top-level shape explicitly).
+    let text = std::fs::read_to_string(&path).unwrap();
+    let doc = Json::parse(&text).expect("trace file parses as JSON");
+    let events = doc.get("traceEvents").expect("traceEvents key");
+    assert!(matches!(events, Json::Arr(_)));
+
+    // After finish, recording is off and a new session can start.
+    let path2 = tmp.join("second.trace.json");
+    trace::start(&path2).expect("session restarts after finish");
+    {
+        let _span = trace::span(trace::Phase::Check, "post-restart");
+    }
+    let summary2 = trace::finish().unwrap().expect("second session active");
+    assert!(summary2.events >= 1, "span after restart must be recorded");
+    trace::validate_trace_file(&path2).expect("second trace validates");
+
+    let _ = std::fs::remove_dir_all(&tmp);
+}
