@@ -14,6 +14,7 @@ const SAMPLES: u64 = 10;
 
 fn bench_model_checking() {
     let mut group = Group::new("p3_model_checking", SAMPLES);
+    group.warmup(2);
     const RUNS: u64 = 10;
     group.throughput(RUNS);
     let mut seed = 0;
@@ -78,6 +79,7 @@ fn synthetic_history(n: usize) -> Graph<QueueEvent> {
 
 fn bench_linearization_search() {
     let mut group = Group::new("p3_linearization_search", SAMPLES);
+    group.warmup(2);
     for n in [2usize, 4, 6, 8] {
         let g = synthetic_history(n);
         group.throughput((2 * n) as u64);

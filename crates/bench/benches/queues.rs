@@ -46,6 +46,7 @@ fn run_pairs<Q: ConcurrentQueue<u64>>(q: &Q, pairs: usize) {
 
 fn main() {
     let mut group = Group::new("p1_queue_throughput", SAMPLES);
+    group.warmup(2);
     for pairs in [1usize, 2, 4] {
         let total_ops = 2 * pairs as u64 * OPS_PER_THREAD;
         group.throughput(total_ops);

@@ -9,6 +9,7 @@ const SAMPLES: u64 = 10;
 
 fn main() {
     let mut group = Group::new("p4_spsc_throughput", SAMPLES);
+    group.warmup(2);
     group.throughput(N);
     group.bench("spsc-ring", || {
         let (p, cns) = spsc_ring::<u64>(1024);

@@ -33,6 +33,7 @@ fn run_mixed<S: ConcurrentStack<u64>>(s: &S, threads: usize) {
 
 fn main() {
     let mut group = Group::new("p2_stack_contention", SAMPLES);
+    group.warmup(2);
     let max = std::thread::available_parallelism().map_or(8, |n| n.get());
     for threads in [1usize, 2, 4, 8] {
         if threads > max.max(4) {

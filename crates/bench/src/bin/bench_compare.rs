@@ -1,0 +1,20 @@
+//! Compares performance-trajectory documents (`BENCH_<n>.json`) and
+//! flags regressions — the gate `scripts/run_bench.sh` and CI's
+//! perf-smoke step run after every recorded benchmark.
+//!
+//! ```text
+//! bench_compare --check FILE                 # validate one document
+//! bench_compare [--threshold PCT] OLD NEW    # compare two documents
+//! bench_compare [--threshold PCT] DIR        # compare newest two in DIR
+//! ```
+//!
+//! A regression is a >20% (configurable) drop in throughput or rise in
+//! p99 latency at any `(structure, threads)` point present in both
+//! documents, or the same drop in explorer execs/sec. Exit codes: 0 =
+//! ok, 1 = regression, 2 = usage/parse/validation error. All logic
+//! lives in [`compass_bench::perf`] so tests can drive it directly.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(compass_bench::perf::compare_cli(&args));
+}

@@ -1,0 +1,489 @@
+//! E12 — the performance trajectory (DESIGN.md §9, ROADMAP item 4).
+//!
+//! Drives every native structure — MsQueue, HwQueue, TreiberStack,
+//! ElimStack, exchanger, SPSC ring, Chase-Lev deque — plus the mutex
+//! baselines through closed-loop mixed workloads at thread counts
+//! {1,2,4,8}, recording per-operation latency histograms
+//! (`compass_native::perf`, thread-local, merged at round end) and
+//! throughput-vs-threads curves; then times the explorer itself
+//! (execs/sec, plain and DPOR DFS) over the e8 litmus gallery so
+//! exploration speed is tracked in the same document.
+//!
+//! Usage: `e12_perf [ops_per_thread=50000] [litmus_budget=200000]`
+//!
+//! Environment:
+//! * `COMPASS_PERF_TCOUNTS` — comma-separated thread counts (default
+//!   `1,2,4,8`; the SPSC ring always runs at exactly 2, the exchanger
+//!   skips 1).
+//! * `COMPASS_PROGRESS` — live round progress (structure, thread count,
+//!   ops completed, throughput) on stderr.
+//! * `COMPASS_BENCH_OUT` — also write a `BENCH_<n>.json` trajectory
+//!   document to this path, stamped with `COMPASS_BENCH_REV` /
+//!   `COMPASS_BENCH_DATE` / `COMPASS_BENCH_PRESET` (the binary never
+//!   reads the wall clock or the git state itself — provenance comes
+//!   from the environment, see `scripts/run_bench.sh`).
+//!
+//! Latency percentiles live here and in the trajectory documents, not
+//! in replay bundles: bundles are byte-deterministic artifacts, and
+//! wall-clock-derived numbers would break that (DESIGN.md §9).
+
+use std::ops::Range;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::Instant;
+
+use compass_bench::metrics::Metrics;
+use compass_bench::perf::{curve_point_json, perf_json, structure_json};
+use compass_bench::table::Table;
+use compass_bench::timing::{format_ns, LatencyHist};
+use compass_native::perf as nperf;
+use compass_native::{
+    chase_lev, spsc_ring, ConcurrentQueue, ConcurrentStack, ElimStack, Exchanger, HwQueue, MsQueue,
+    MutexQueue, MutexStack, TreiberStack,
+};
+use orc11::litmus::{gallery, Litmus};
+use orc11::{Json, ProgressLine};
+
+/// How many elements each structure is seeded with before a round, so
+/// consume-side ops don't start against an empty structure.
+const PREFILL: u64 = 1024;
+/// Ops per progress/claim chunk inside a worker's loop.
+const CHUNK: u64 = 1024;
+
+/// One thread's share of a round: called with consecutive op-index
+/// ranges totalling `ops_per_thread`.
+type Body = Box<dyn FnMut(Range<u64>) + Send>;
+
+/// Runs one closed-loop round: `bodies.len()` threads, barrier-started,
+/// each performing `per_thread` ops in chunks. Returns the slowest
+/// thread's wall time in nanoseconds (the round's makespan); each
+/// thread flushes its perf histograms before returning.
+fn round(label: &str, per_thread: u64, progress: &ProgressLine, bodies: Vec<Body>) -> u64 {
+    let threads = bodies.len();
+    let barrier = Barrier::new(threads);
+    let done = AtomicU64::new(0);
+    let total = per_thread * threads as u64;
+    let walls: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = bodies
+            .into_iter()
+            .map(|mut body| {
+                let barrier = &barrier;
+                let done = &done;
+                scope.spawn(move || {
+                    barrier.wait();
+                    let t0 = Instant::now();
+                    let mut next = 0u64;
+                    while next < per_thread {
+                        let end = (next + CHUNK).min(per_thread);
+                        body(next..end);
+                        if progress.enabled() {
+                            let d = done.fetch_add(end - next, Ordering::Relaxed) + (end - next);
+                            progress.maybe(|| {
+                                let rate = d as f64 / t0.elapsed().as_secs_f64().max(1e-9);
+                                format!("{label}: {d}/{total} ops, {rate:.0} ops/s")
+                            });
+                        }
+                        next = end;
+                    }
+                    let wall = t0.elapsed().as_nanos() as u64;
+                    nperf::flush_thread();
+                    wall
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    walls.into_iter().max().unwrap_or(0)
+}
+
+/// Measures one curve point: an untimed warm-up round (fresh structure,
+/// recording off), then a recorded round on another fresh structure.
+/// `make` builds the structure, prefills it, and returns the per-thread
+/// bodies — all before recording starts, so setup ops are never
+/// sampled.
+fn point(
+    name: &str,
+    threads: usize,
+    per_thread: u64,
+    progress: &ProgressLine,
+    make: &dyn Fn(usize, u64) -> Vec<Body>,
+) -> Json {
+    let warmup_ops = (per_thread / 4).max(256);
+    round(
+        &format!("{name} t={threads} (warmup)"),
+        warmup_ops,
+        progress,
+        make(threads, warmup_ops),
+    );
+    let bodies = make(threads, per_thread);
+    nperf::start();
+    let wall_ns = round(&format!("{name} t={threads}"), per_thread, progress, bodies);
+    let by_kind = nperf::finish();
+    let mut merged = LatencyHist::new();
+    let mut by_op = Vec::new();
+    for (kind, hist) in by_kind {
+        merged.merge(&hist);
+        by_op.push((kind.name().to_string(), hist));
+    }
+    curve_point_json(
+        threads as u64,
+        per_thread * threads as u64,
+        wall_ns,
+        &merged,
+        &by_op,
+    )
+}
+
+/// Parity-mixed closed loop over any [`ConcurrentQueue`]: even op
+/// indices (staggered by thread) enqueue, odd dequeue.
+fn queue_bodies<Q: ConcurrentQueue<u64> + 'static>(
+    q: Arc<Q>,
+    threads: usize,
+    _per_thread: u64,
+) -> Vec<Body> {
+    for k in 0..PREFILL {
+        q.enqueue(k);
+    }
+    (0..threads)
+        .map(|tid| {
+            let q = q.clone();
+            Box::new(move |range: Range<u64>| {
+                for i in range {
+                    if (i + tid as u64) & 1 == 0 {
+                        q.enqueue((tid as u64 + 1) * 1_000_000 + i);
+                    } else {
+                        std::hint::black_box(q.dequeue());
+                    }
+                }
+            }) as Body
+        })
+        .collect()
+}
+
+/// Same parity mix over any [`ConcurrentStack`].
+fn stack_bodies<S: ConcurrentStack<u64> + 'static>(
+    s: Arc<S>,
+    threads: usize,
+    _per_thread: u64,
+) -> Vec<Body> {
+    for k in 0..PREFILL {
+        s.push(k);
+    }
+    (0..threads)
+        .map(|tid| {
+            let s = s.clone();
+            Box::new(move |range: Range<u64>| {
+                for i in range {
+                    if (i + tid as u64) & 1 == 0 {
+                        s.push((tid as u64 + 1) * 1_000_000 + i);
+                    } else {
+                        std::hint::black_box(s.pop());
+                    }
+                }
+            }) as Body
+        })
+        .collect()
+}
+
+/// All threads rendezvous on one exchanger; unpaired attempts time out
+/// and count as (failed) exchanges.
+fn exchanger_bodies(threads: usize, _per_thread: u64) -> Vec<Body> {
+    let ex: Arc<Exchanger<u64>> = Arc::new(Exchanger::new());
+    (0..threads)
+        .map(|tid| {
+            let ex = ex.clone();
+            Box::new(move |range: Range<u64>| {
+                for i in range {
+                    std::hint::black_box(ex.exchange((tid as u64 + 1) * 1_000_000 + i, 256).ok());
+                }
+            }) as Body
+        })
+        .collect()
+}
+
+/// Fixed 2-thread pipeline through the SPSC ring: thread 0 blocking-
+/// pushes `per_thread` items, thread 1 pops until it has `per_thread`
+/// (spinning on the instrumented `try_pop`, so misses are sampled too).
+fn spsc_bodies(_threads: usize, _per_thread: u64) -> Vec<Body> {
+    let (tx, rx) = spsc_ring::<u64>(4096);
+    let mut tx = Some(tx);
+    let mut rx = Some(rx);
+    vec![
+        {
+            let tx = tx.take().expect("producer half");
+            Box::new(move |range: Range<u64>| {
+                for i in range {
+                    tx.push(i);
+                }
+            }) as Body
+        },
+        {
+            let rx = rx.take().expect("consumer half");
+            Box::new(move |range: Range<u64>| {
+                for _ in range {
+                    while rx.try_pop().is_none() {
+                        std::hint::spin_loop();
+                    }
+                }
+            }) as Body
+        },
+    ]
+}
+
+/// Chase-Lev: thread 0 owns the deque (parity-mixed push/pop), the rest
+/// steal. Capacity covers the owner's total pushes — the deque's buffer
+/// is not a ring (see `compass_native::Worker::push`).
+fn chase_lev_bodies(threads: usize, per_thread: u64) -> Vec<Body> {
+    let (worker, stealer) = chase_lev::<u64>((per_thread / 2 + PREFILL + 2) as usize);
+    for k in 0..PREFILL.min(per_thread / 2) {
+        worker.push(k);
+    }
+    let mut bodies: Vec<Body> = vec![Box::new(move |range: Range<u64>| {
+        for i in range {
+            if i & 1 == 0 {
+                worker.push(i);
+            } else {
+                std::hint::black_box(worker.pop());
+            }
+        }
+    })];
+    for _ in 1..threads {
+        let s = stealer.clone();
+        bodies.push(Box::new(move |range: Range<u64>| {
+            for _ in range {
+                std::hint::black_box(s.steal());
+            }
+        }));
+    }
+    bodies
+}
+
+/// Thread counts from `COMPASS_PERF_TCOUNTS`, default {1,2,4,8}.
+fn thread_counts() -> Vec<usize> {
+    let parsed = std::env::var("COMPASS_PERF_TCOUNTS").ok().map(|s| {
+        s.split(',')
+            .filter_map(|t| t.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .collect::<Vec<_>>()
+    });
+    match parsed {
+        Some(counts) if !counts.is_empty() => counts,
+        _ => vec![1, 2, 4, 8],
+    }
+}
+
+/// Times one litmus shape under plain and DPOR DFS.
+fn shape_speed<S: Sync + 'static>(lit: &Litmus<S>, budget: u64, m: &mut Metrics) -> Json {
+    let t0 = Instant::now();
+    let plain = lit.dfs_plain(budget);
+    let plain_ns = t0.elapsed().as_nanos() as u64;
+    let t1 = Instant::now();
+    let dpor = lit.dfs_dpor(budget);
+    let dpor_ns = t1.elapsed().as_nanos() as u64;
+    m.add_phases(&plain.report.phase_ns);
+    m.add_phases(&dpor.report.phase_ns);
+    let rate = |execs: u64, ns: u64| execs as f64 * 1e9 / (ns.max(1)) as f64;
+    Json::obj()
+        .set("name", lit.name())
+        .set("plain_execs", plain.report.execs)
+        .set("plain_execs_per_sec", rate(plain.report.execs, plain_ns))
+        .set("dpor_execs", dpor.report.execs)
+        .set("dpor_execs_per_sec", rate(dpor.report.execs, dpor_ns))
+}
+
+fn main() {
+    orc11::trace::init_from_env();
+    let mut m = Metrics::new("e12_perf");
+    let per_thread: u64 = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(50_000);
+    let budget: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(200_000);
+    let tcounts = thread_counts();
+    let progress = ProgressLine::new(orc11::progress::from_env());
+
+    m.param("ops_per_thread", per_thread);
+    m.param("litmus_budget", budget);
+    m.param(
+        "thread_counts",
+        tcounts.iter().fold(Json::arr(), |j, &t| j.push(t as u64)),
+    );
+
+    println!("E12 — performance trajectory ({per_thread} ops/thread, litmus budget {budget})\n");
+
+    // name, kind, baseline, thread counts, body factory.
+    type Spec<'a> = (
+        &'a str,
+        &'a str,
+        bool,
+        Vec<usize>,
+        Box<dyn Fn(usize, u64) -> Vec<Body>>,
+    );
+    let all = tcounts.clone();
+    let multi: Vec<usize> = tcounts.iter().copied().filter(|&t| t >= 2).collect();
+    let hw_cap = move |threads: usize, ops: u64| (PREFILL + threads as u64 * ops + 1) as usize;
+    let structures: Vec<Spec> = vec![
+        (
+            "MsQueue",
+            "queue",
+            false,
+            all.clone(),
+            Box::new(|t, n| queue_bodies(Arc::new(MsQueue::new()), t, n)),
+        ),
+        (
+            "HwQueue",
+            "queue",
+            false,
+            all.clone(),
+            Box::new(move |t, n| queue_bodies(Arc::new(HwQueue::new(hw_cap(t, n))), t, n)),
+        ),
+        (
+            "TreiberStack",
+            "stack",
+            false,
+            all.clone(),
+            Box::new(|t, n| stack_bodies(Arc::new(TreiberStack::new()), t, n)),
+        ),
+        (
+            "ElimStack",
+            "stack",
+            false,
+            all.clone(),
+            Box::new(|t, n| stack_bodies(Arc::new(ElimStack::new(4, 256)), t, n)),
+        ),
+        (
+            "exchanger",
+            "exchange",
+            false,
+            if multi.is_empty() { vec![2] } else { multi },
+            Box::new(exchanger_bodies),
+        ),
+        ("spsc_ring", "spsc", false, vec![2], Box::new(spsc_bodies)),
+        (
+            "chase_lev",
+            "deque",
+            false,
+            all.clone(),
+            Box::new(chase_lev_bodies),
+        ),
+        (
+            "MutexQueue",
+            "queue",
+            true,
+            all.clone(),
+            Box::new(|t, n| queue_bodies(Arc::new(MutexQueue::new()), t, n)),
+        ),
+        (
+            "MutexStack",
+            "stack",
+            true,
+            all.clone(),
+            Box::new(|t, n| stack_bodies(Arc::new(MutexStack::new()), t, n)),
+        ),
+    ];
+
+    let mut table = Table::new(&["structure", "threads", "Mops/s", "p50", "p99", "p999"]);
+    let mut structures_json = Json::arr();
+    for (name, kind, baseline, counts, make) in &structures {
+        let mut curve = Json::arr();
+        for &threads in counts {
+            let p = point(name, threads, per_thread, &progress, make.as_ref());
+            let tp = match p.get("throughput_ops_per_sec") {
+                Some(Json::Float(f)) => *f,
+                _ => 0.0,
+            };
+            let pct = |key: &str| {
+                p.get("latency")
+                    .and_then(|l| l.get(key))
+                    .and_then(|v| match v {
+                        Json::Int(i) => Some(*i as u64),
+                        _ => None,
+                    })
+                    .unwrap_or(0)
+            };
+            table.row(&[
+                name.to_string(),
+                threads.to_string(),
+                format!("{:.2}", tp / 1e6),
+                format_ns(pct("p50_ns")),
+                format_ns(pct("p99_ns")),
+                format_ns(pct("p999_ns")),
+            ]);
+            curve = curve.push(p);
+        }
+        structures_json = structures_json.push(structure_json(name, kind, *baseline, curve));
+    }
+    progress.finish("structure rounds done");
+    println!("{}", table.render());
+
+    println!("explorer speed (litmus gallery, budget {budget}):");
+    let mut tests = Json::arr();
+    let mut total_execs = 0u64;
+    let explorer_t0 = Instant::now();
+    macro_rules! shapes {
+        ($($f:ident),+ $(,)?) => {
+            $(
+                let row = shape_speed(&gallery::$f(), budget, &mut m);
+                if let Some(Json::Int(e)) = row.get("plain_execs") {
+                    total_execs += *e as u64;
+                }
+                if let Some(Json::Int(e)) = row.get("dpor_execs") {
+                    total_execs += *e as u64;
+                }
+                tests = tests.push(row);
+            )+
+        };
+    }
+    shapes!(
+        mp_rel_acq,
+        mp_relaxed,
+        mp_fences,
+        sb,
+        sb_sc_fences,
+        corr,
+        iriw_acq,
+        lb,
+        two_plus_two_w,
+        cowr,
+        release_sequence,
+        rmw_atomicity,
+    );
+    let explorer_ns = explorer_t0.elapsed().as_nanos() as u64;
+    let execs_per_sec = total_execs as f64 * 1e9 / explorer_ns.max(1) as f64;
+    println!(
+        "  {total_execs} execs in {} ({execs_per_sec:.0} execs/s)\n",
+        format_ns(explorer_ns)
+    );
+    let explorer = Json::obj()
+        .set("budget", budget)
+        .set("tests", tests)
+        .set("total_execs", total_execs)
+        .set("execs_per_sec", execs_per_sec);
+
+    m.set_perf(perf_json(structures_json, explorer));
+    m.set("total_execs", total_execs);
+    m.write_or_warn();
+
+    if let Some(out) = std::env::var_os("COMPASS_BENCH_OUT") {
+        let get = |k: &str, default: &str| std::env::var(k).unwrap_or_else(|_| default.to_string());
+        let doc = compass_bench::perf::bench_document(
+            &m.to_json(),
+            &get("COMPASS_BENCH_REV", "unknown"),
+            &get("COMPASS_BENCH_DATE", "unknown"),
+            &get("COMPASS_BENCH_PRESET", "default"),
+        )
+        .expect("e12_perf metrics make a valid BENCH document");
+        let out = std::path::PathBuf::from(out);
+        if let Some(parent) = out.parent() {
+            let _ = std::fs::create_dir_all(parent);
+        }
+        match std::fs::write(&out, doc.render_pretty()) {
+            Ok(()) => eprintln!("bench: wrote {}", out.display()),
+            Err(e) => eprintln!("bench: cannot write {}: {e}", out.display()),
+        }
+    }
+    orc11::trace::finish_or_warn();
+}

@@ -13,15 +13,19 @@
 //! | `e7_spsc` | §3.2 — SPSC client |
 //! | `e8_litmus` | §2.3/§5 — substrate litmus gallery |
 //! | `e11_conform` | runtime conformance: native structures vs. the specs (DESIGN.md §7) |
+//! | `e12_perf` | performance trajectory: latency/throughput curves + explorer speed (DESIGN.md §9) |
 //!
 //! The `benches/` directory holds the performance benchmarks (P1 queues,
 //! P2 stacks, P3 checker throughput, P4 SPSC), built on the in-tree
-//! [`timing`] harness.
+//! [`timing`] harness. `e12_perf`'s trajectory documents
+//! (`BENCH_<n>.json`, written by `scripts/run_bench.sh`) and their
+//! regression comparator (`bench_compare`) live in [`perf`].
 
 #![warn(missing_docs)]
 
 pub mod conform_subjects;
 pub mod metrics;
+pub mod perf;
 pub mod table;
 pub mod timing;
 pub mod workloads;

@@ -7,7 +7,7 @@
 //!
 //! ```json
 //! {
-//!   "schema_version": 5,
+//!   "schema_version": 6,
 //!   "experiment": "<id>",
 //!   "threads": 4,         // exploration worker threads for this run
 //!   "dpor": false,        // whether COMPASS_DPOR pruned DFS runs
@@ -15,6 +15,7 @@
 //!   "wall_ns": 12345678,  // wall-clock from Metrics::new() to to_json()
 //!   "phase_ns": { ... },  // per-phase busy time (orc11::trace)
 //!   "workers": [ ... ],   // per-worker load-balance counters
+//!   "perf": null,         // performance measurements (e12_perf only)
 //!   "params": { ... },    // run parameters (seed counts, budgets, ...)
 //!   "data": { ... }       // the experiment's measurements
 //! }
@@ -39,7 +40,12 @@
 //! `workers` (per-worker executed/stolen/idle-wait counters, sorted by
 //! worker index; empty for serial or conformance runs). Both accumulate
 //! over every report fed via [`Metrics::add_phases`] /
-//! [`Metrics::add_workers`]. `params` and `data` are
+//! [`Metrics::add_workers`]. Schema v6 adds `perf`
+//! ([`Metrics::set_perf`]): latency histograms, throughput-vs-threads
+//! curves, and explorer execs/sec from the performance experiments —
+//! `null` for every experiment except `e12_perf`, whose `perf` shape is
+//! pinned by `tests/perf_schema.rs` and documented in
+//! [`crate::perf`]. `params` and `data` are
 //! experiment-specific but always objects; every count is a JSON
 //! integer, every ratio a JSON float (the in-tree emitter guarantees
 //! floats stay float-shaped — see [`orc11::Json`]).
@@ -53,7 +59,7 @@ use std::time::Instant;
 use orc11::{Json, PhaseNs, WorkerStats};
 
 /// The metrics schema version emitted by this crate.
-pub const SCHEMA_VERSION: u64 = 5;
+pub const SCHEMA_VERSION: u64 = 6;
 
 /// Builder for one experiment's metrics file.
 #[derive(Clone, Debug)]
@@ -65,6 +71,7 @@ pub struct Metrics {
     start: Instant,
     phase_ns: PhaseNs,
     workers: Vec<WorkerStats>,
+    perf: Json,
     params: Json,
     data: Json,
 }
@@ -83,6 +90,7 @@ impl Metrics {
             start: Instant::now(),
             phase_ns: PhaseNs::ZERO,
             workers: Vec::new(),
+            perf: Json::Null,
             params: Json::obj(),
             data: Json::obj(),
         }
@@ -113,6 +121,13 @@ impl Metrics {
         self.conform = true;
     }
 
+    /// Sets the schema-v6 `perf` object (latency histograms, throughput
+    /// curves, explorer execs/sec — see [`crate::perf`]). Experiments
+    /// that measure nothing leave it `null`.
+    pub fn set_perf(&mut self, perf: Json) {
+        self.perf = perf;
+    }
+
     /// Records a run parameter (seed count, budget, ...).
     pub fn param(&mut self, key: &str, value: impl Into<Json>) {
         let params = std::mem::replace(&mut self.params, Json::Null);
@@ -136,6 +151,7 @@ impl Metrics {
             .set("wall_ns", self.start.elapsed().as_nanos() as u64)
             .set("phase_ns", self.phase_ns.to_json())
             .set("workers", orc11::workers_to_json(&self.workers))
+            .set("perf", self.perf.clone())
             .set("params", self.params.clone())
             .set("data", self.data.clone())
     }
@@ -184,7 +200,9 @@ mod tests {
         m.set("consistent", 100u64);
         m.set("rate", 1.0f64);
         let j = m.to_json();
-        assert_eq!(j.get("schema_version"), Some(&Json::Int(5)));
+        assert_eq!(j.get("schema_version"), Some(&Json::Int(6)));
+        // v6: the perf field exists and defaults to null.
+        assert_eq!(j.get("perf"), Some(&Json::Null));
         assert_eq!(j.get("experiment"), Some(&Json::Str("e0_test".into())));
         // The environment-dependent fields exist and are sane.
         assert!(matches!(j.get("threads"), Some(&Json::Int(n)) if n >= 1));
@@ -241,7 +259,7 @@ mod tests {
         let path = dir.join("e0_write_test.json");
         std::fs::write(&path, m.to_json().render_pretty()).unwrap();
         let text = std::fs::read_to_string(&path).unwrap();
-        assert!(text.starts_with("{\n  \"schema_version\": 5,\n"));
+        assert!(text.starts_with("{\n  \"schema_version\": 6,\n"));
         assert!(text.ends_with("\n"));
         std::fs::remove_dir_all(&dir).unwrap();
     }

@@ -15,6 +15,8 @@ use std::time::Instant;
 
 use crate::table::Table;
 
+pub use compass_native::perf::LatencyHist;
+
 /// One benchmark measurement.
 #[derive(Clone, Debug)]
 pub struct Sample {
@@ -24,6 +26,9 @@ pub struct Sample {
     pub iters: u64,
     /// Median wall time per iteration, nanoseconds.
     pub median_ns: u64,
+    /// 99th-percentile wall time per iteration, nanoseconds (equal to
+    /// the max for iteration counts below 100).
+    pub p99_ns: u64,
     /// Minimum wall time per iteration, nanoseconds.
     pub min_ns: u64,
     /// Elements processed per iteration (for throughput), if declared.
@@ -48,19 +53,28 @@ pub struct Group {
     name: String,
     samples: Vec<Sample>,
     iters: u64,
+    warmup: u64,
     elements: Option<u64>,
 }
 
 impl Group {
-    /// Creates a group; `iters` timed iterations per benchmark.
+    /// Creates a group; `iters` timed iterations per benchmark, after
+    /// one untimed warm-up call (configure with [`Group::warmup`]).
     pub fn new(name: &str, iters: u64) -> Self {
         eprintln!("# group {name} ({iters} iterations per benchmark)");
         Group {
             name: name.to_string(),
             samples: Vec::new(),
             iters,
+            warmup: 1,
             elements: None,
         }
+    }
+
+    /// Sets the untimed warm-up iteration count for subsequent
+    /// benchmarks (default 1).
+    pub fn warmup(&mut self, iters: u64) {
+        self.warmup = iters;
     }
 
     /// Declares elements-per-iteration for subsequent benchmarks.
@@ -68,9 +82,12 @@ impl Group {
         self.elements = Some(elements);
     }
 
-    /// Times `f` (after one untimed warm-up call) and records a sample.
+    /// Times `f` (after the configured untimed warm-up calls) and
+    /// records a sample.
     pub fn bench<R>(&mut self, id: &str, mut f: impl FnMut() -> R) {
-        let _warmup = f();
+        for _ in 0..self.warmup {
+            let _warmup = f();
+        }
         let mut times: Vec<u64> = (0..self.iters)
             .map(|_| {
                 let t0 = Instant::now();
@@ -83,6 +100,10 @@ impl Group {
             id: id.to_string(),
             iters: self.iters,
             median_ns: times[times.len() / 2],
+            p99_ns: times[(self.iters as usize * 99)
+                .div_ceil(100)
+                .clamp(1, times.len())
+                - 1],
             min_ns: times[0],
             elements: self.elements,
         };
@@ -110,11 +131,12 @@ impl Group {
 
     /// Renders the group as a table and returns the samples.
     pub fn finish(self) -> Vec<Sample> {
-        let mut t = Table::new(&["benchmark", "median", "min", "throughput"]);
+        let mut t = Table::new(&["benchmark", "median", "p99", "min", "throughput"]);
         for s in &self.samples {
             t.row(&[
                 s.id.clone(),
                 format_ns(s.median_ns),
+                format_ns(s.p99_ns),
                 format_ns(s.min_ns),
                 s.melem_per_sec()
                     .map(|x| format!("{x:.2} Melem/s"))
@@ -146,15 +168,26 @@ mod tests {
     #[test]
     fn bench_records_samples_and_throughput() {
         let mut g = Group::new("t", 3);
+        g.warmup(2);
         g.throughput(1_000);
         g.bench("busy", || std::hint::black_box((0..100u64).sum::<u64>()));
         assert_eq!(g.samples().len(), 1);
         let s = &g.samples()[0];
         assert_eq!(s.iters, 3);
         assert!(s.min_ns <= s.median_ns);
+        assert!(s.median_ns <= s.p99_ns, "p99 below median");
         assert_eq!(s.elements, Some(1_000));
         let rendered = g.finish();
         assert_eq!(rendered.len(), 1);
+    }
+
+    #[test]
+    fn p99_is_the_ceil_rank_sample() {
+        // With n < 100 iterations, rank ceil(0.99 n) = n: p99 == max.
+        let mut g = Group::new("p", 5);
+        g.bench("spin", || std::hint::black_box((0..50u64).product::<u64>()));
+        let s = &g.samples()[0];
+        assert!(s.p99_ns >= s.median_ns && s.p99_ns >= s.min_ns);
     }
 
     #[test]

@@ -9,14 +9,15 @@
 //! environment, and the clock, so the snapshots normalize them (to
 //! fixed values, in place — `Json::set` replaces without reordering)
 //! before comparing. `phase_ns` and `workers` (schema v5) are zero and
-//! empty on a fresh `Metrics`, so they snapshot as-is.
+//! empty on a fresh `Metrics`, so they snapshot as-is; `perf` (schema
+//! v6) is `null` outside `e12_perf`.
 
 use compass_bench::metrics::{Metrics, SCHEMA_VERSION};
 use orc11::{Json, PhaseNs, WorkerStats};
 
 #[test]
 fn schema_version_is_stable() {
-    assert_eq!(SCHEMA_VERSION, 5);
+    assert_eq!(SCHEMA_VERSION, 6);
 }
 
 /// Pins the environment-dependent fields to snapshot-stable values.
@@ -41,7 +42,7 @@ fn rendered_document_matches_snapshot() {
         Json::arr().push(Json::obj().set("n", 1u64).set("mismatches", 0u64)),
     );
     let expected = r#"{
-  "schema_version": 5,
+  "schema_version": 6,
   "experiment": "e0_snapshot",
   "threads": 4,
   "dpor": false,
@@ -56,6 +57,7 @@ fn rendered_document_matches_snapshot() {
     "io": 0
   },
   "workers": [],
+  "perf": null,
   "params": {
     "seeds": 100,
     "budget": 500000
@@ -81,7 +83,7 @@ fn conform_documents_set_the_flag() {
     let mut m = Metrics::new("e11_conform");
     m.mark_conform();
     let expected = r#"{
-  "schema_version": 5,
+  "schema_version": 6,
   "experiment": "e11_conform",
   "threads": 4,
   "dpor": false,
@@ -96,6 +98,7 @@ fn conform_documents_set_the_flag() {
     "io": 0
   },
   "workers": [],
+  "perf": null,
   "params": {},
   "data": {}
 }
@@ -107,7 +110,7 @@ fn conform_documents_set_the_flag() {
 fn empty_params_and_data_render_as_empty_objects() {
     let m = Metrics::new("e0_empty");
     let expected = r#"{
-  "schema_version": 5,
+  "schema_version": 6,
   "experiment": "e0_empty",
   "threads": 4,
   "dpor": false,
@@ -122,6 +125,7 @@ fn empty_params_and_data_render_as_empty_objects() {
     "io": 0
   },
   "workers": [],
+  "perf": null,
   "params": {},
   "data": {}
 }
@@ -157,7 +161,7 @@ fn fed_phase_and_worker_telemetry_renders_in_place() {
         },
     ]);
     let expected = r#"{
-  "schema_version": 5,
+  "schema_version": 6,
   "experiment": "e0_fed",
   "threads": 4,
   "dpor": false,
@@ -187,6 +191,7 @@ fn fed_phase_and_worker_telemetry_renders_in_place() {
       "idle_wait_ns": 50
     }
   ],
+  "perf": null,
   "params": {},
   "data": {}
 }

@@ -250,7 +250,7 @@ impl CheckOptions {
     pub fn from_env() -> Self {
         CheckOptions {
             bundle_dir: std::env::var_os("COMPASS_BUNDLE_DIR").map(PathBuf::from),
-            progress: std::env::var_os("COMPASS_PROGRESS").is_some_and(|v| v != *"0"),
+            progress: orc11::progress::from_env(),
             ..CheckOptions::default()
         }
     }
@@ -425,10 +425,11 @@ impl fmt::Display for CheckReport {
 }
 
 /// Throttled stderr progress line ([`CheckOptions::progress`]), shared
-/// by all workers: a counter everyone bumps, and a printer only one
-/// worker at a time enters (via `try_lock`, so nobody ever waits on it).
+/// by all workers: a counter everyone bumps, feeding an
+/// [`orc11::ProgressLine`] (`try_lock` + 200ms throttle, so nobody ever
+/// waits on the printer).
 struct Progress {
-    enabled: bool,
+    line: orc11::ProgressLine,
     total: u64,
     /// DFS runs report the live frontier depth instead of percent-of-
     /// budget: a DFS budget is a cap, not a target, so "% done" would
@@ -436,63 +437,51 @@ struct Progress {
     dfs: bool,
     start: Instant,
     done: AtomicU64,
-    last: std::sync::Mutex<Instant>,
 }
 
 impl Progress {
     fn new(enabled: bool, spec: &WorkSpec) -> Self {
-        let now = Instant::now();
         Progress {
-            enabled,
+            line: orc11::ProgressLine::new(enabled),
             total: spec.total(),
             dfs: matches!(spec, WorkSpec::Dfs { .. } | WorkSpec::DfsDpor { .. }),
-            start: now,
+            start: Instant::now(),
             done: AtomicU64::new(0),
-            last: std::sync::Mutex::new(now),
         }
     }
 
     fn tick(&self) {
-        if !self.enabled {
+        if !self.line.enabled() {
             return;
         }
         let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
-        let Ok(mut last) = self.last.try_lock() else {
-            return;
-        };
-        let now = Instant::now();
-        if now.duration_since(*last).as_millis() < 200 {
-            return;
-        }
-        *last = now;
-        let rate = done as f64 / now.duration_since(self.start).as_secs_f64().max(1e-9);
-        if self.dfs {
-            eprint!(
-                "\r{done} execs, {rate:.0}/s, frontier {}    ",
-                trace::frontier_depth()
-            );
-        } else if self.total > done {
-            let pct = 100.0 * done as f64 / self.total as f64;
-            let eta = (self.total - done) as f64 / rate.max(1e-9);
-            eprint!(
-                "\r{done}/{} execs ({pct:.0}%), {rate:.0}/s, ETA {eta:.1}s    ",
-                self.total
-            );
-        } else {
-            eprint!("\r{done} execs, {rate:.0}/s    ");
-        }
+        self.line.maybe(|| {
+            let rate = done as f64 / self.start.elapsed().as_secs_f64().max(1e-9);
+            if self.dfs {
+                format!(
+                    "{done} execs, {rate:.0}/s, frontier {}",
+                    trace::frontier_depth()
+                )
+            } else if self.total > done {
+                let pct = 100.0 * done as f64 / self.total as f64;
+                let eta = (self.total - done) as f64 / rate.max(1e-9);
+                format!(
+                    "{done}/{} execs ({pct:.0}%), {rate:.0}/s, ETA {eta:.1}s",
+                    self.total
+                )
+            } else {
+                format!("{done} execs, {rate:.0}/s")
+            }
+        });
     }
 
     fn finish(&self) {
-        if !self.enabled {
-            return;
-        }
         let done = self.done.load(Ordering::Relaxed);
         let secs = self.start.elapsed().as_secs_f64();
-        eprintln!(
-            "\r{done} execs in {secs:.2}s ({:.0}/s)            ",
+        self.line.finish(&format!(
+            "{done} execs in {secs:.2}s ({:.0}/s)",
             done as f64 / secs.max(1e-9)
-        );
+        ));
     }
 }
 

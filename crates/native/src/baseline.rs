@@ -35,11 +35,15 @@ impl<T> MutexStack<T> {
 
 impl<T: Send> ConcurrentStack<T> for MutexStack<T> {
     fn push(&self, v: T) {
-        self.inner.lock().unwrap().push(v);
+        crate::perf::op(crate::perf::OpKind::StackPush, || {
+            self.inner.lock().unwrap().push(v)
+        });
     }
 
     fn pop(&self) -> Option<T> {
-        self.inner.lock().unwrap().pop()
+        crate::perf::op(crate::perf::OpKind::StackPop, || {
+            self.inner.lock().unwrap().pop()
+        })
     }
 }
 
@@ -71,11 +75,15 @@ impl<T> MutexQueue<T> {
 
 impl<T: Send> ConcurrentQueue<T> for MutexQueue<T> {
     fn enqueue(&self, v: T) {
-        self.inner.lock().unwrap().push_back(v);
+        crate::perf::op(crate::perf::OpKind::QueueEnq, || {
+            self.inner.lock().unwrap().push_back(v)
+        });
     }
 
     fn dequeue(&self) -> Option<T> {
-        self.inner.lock().unwrap().pop_front()
+        crate::perf::op(crate::perf::OpKind::QueueDeq, || {
+            self.inner.lock().unwrap().pop_front()
+        })
     }
 }
 

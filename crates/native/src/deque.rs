@@ -95,60 +95,66 @@ impl<T: Send> Worker<T> {
     ///
     /// Panics if the total push capacity is exhausted.
     pub fn push(&self, v: T) {
-        let q = &*self.inner;
-        let b = q.bottom.load(Relaxed);
-        assert!(
-            (b as usize) < q.buf.len(),
-            "chase-lev capacity {} exhausted",
-            q.buf.len()
-        );
-        let p = Box::into_raw(Box::new(v));
-        q.buf[b as usize].store(p, Relaxed);
-        // Publication: release so any acquire-read of bottom sees the
-        // element.
-        q.bottom.store(b + 1, Release);
+        crate::perf::op(crate::perf::OpKind::DequePush, || {
+            let q = &*self.inner;
+            let b = q.bottom.load(Relaxed);
+            assert!(
+                (b as usize) < q.buf.len(),
+                "chase-lev capacity {} exhausted",
+                q.buf.len()
+            );
+            let p = Box::into_raw(Box::new(v));
+            q.buf[b as usize].store(p, Relaxed);
+            // Publication: release so any acquire-read of bottom sees the
+            // element.
+            q.bottom.store(b + 1, Release);
+        })
     }
 
     /// Pops from the bottom, or `None` if the deque appears empty.
     pub fn pop(&self) -> Option<T> {
-        let q = &*self.inner;
-        let b = q.bottom.load(Relaxed) - 1;
-        q.bottom.store(b, Release);
-        fence(SeqCst);
-        let t = q.top.load(Relaxed);
-        if t > b {
-            // Empty.
+        crate::perf::op(crate::perf::OpKind::DequePop, || {
+            let q = &*self.inner;
+            let b = q.bottom.load(Relaxed) - 1;
+            q.bottom.store(b, Release);
+            fence(SeqCst);
+            let t = q.top.load(Relaxed);
+            if t > b {
+                // Empty.
+                q.bottom.store(b + 1, Release);
+                return None;
+            }
+            let p = q.buf[b as usize].load(Relaxed);
+            if t < b {
+                // Plenty: safely ours.
+                return Some(unsafe { *Box::from_raw(p) });
+            }
+            // Last element: race thieves on top.
+            let won = q.top.compare_exchange(t, t + 1, AcqRel, Acquire).is_ok();
             q.bottom.store(b + 1, Release);
-            return None;
-        }
-        let p = q.buf[b as usize].load(Relaxed);
-        if t < b {
-            // Plenty: safely ours.
-            return Some(unsafe { *Box::from_raw(p) });
-        }
-        // Last element: race thieves on top.
-        let won = q.top.compare_exchange(t, t + 1, AcqRel, Acquire).is_ok();
-        q.bottom.store(b + 1, Release);
-        won.then(|| unsafe { *Box::from_raw(p) })
+            won.then(|| unsafe { *Box::from_raw(p) })
+        })
     }
 }
 
 impl<T: Send> Stealer<T> {
     /// Attempts one steal from the top.
     pub fn steal(&self) -> Steal<T> {
-        let q = &*self.inner;
-        let t = q.top.load(Acquire);
-        fence(SeqCst);
-        let b = q.bottom.load(Acquire);
-        if t >= b {
-            return Steal::Empty;
-        }
-        let p = q.buf[t as usize].load(Relaxed);
-        if q.top.compare_exchange(t, t + 1, AcqRel, Relaxed).is_ok() {
-            Steal::Stolen(unsafe { *Box::from_raw(p) })
-        } else {
-            Steal::Retry
-        }
+        crate::perf::op(crate::perf::OpKind::DequeSteal, || {
+            let q = &*self.inner;
+            let t = q.top.load(Acquire);
+            fence(SeqCst);
+            let b = q.bottom.load(Acquire);
+            if t >= b {
+                return Steal::Empty;
+            }
+            let p = q.buf[t as usize].load(Relaxed);
+            if q.top.compare_exchange(t, t + 1, AcqRel, Relaxed).is_ok() {
+                Steal::Stolen(unsafe { *Box::from_raw(p) })
+            } else {
+                Steal::Retry
+            }
+        })
     }
 }
 

@@ -72,28 +72,30 @@ impl<T: Send> Exchanger<T> {
     ///
     /// Returns `Err(v)` (giving the value back) if no partner arrived.
     pub fn exchange(&self, v: T, patience: u32) -> Result<T, T> {
-        let guard = &epoch::pin();
-        let node = Owned::new(OfferNode {
-            give: MaybeUninit::new(v),
-            resp: AtomicPtr::new(ptr::null_mut()),
-        });
-        match self
-            .slot
-            .compare_exchange(Shared::null(), node, Release, Acquire, guard)
-        {
-            Ok(my) => self.wait_as_helpee(my, patience, guard),
-            Err(e) => {
-                // We still own the node; move the value back out (the
-                // node's `give` is MaybeUninit, so dropping the shell
-                // cannot double-drop).
-                let v = unsafe { ptr::read(e.new.give.as_ptr()) };
-                let cur = e.current;
-                match unsafe { cur.as_ref() } {
-                    Some(offer) => self.try_help(cur, offer, v, guard),
-                    None => Err(v),
+        crate::perf::op(crate::perf::OpKind::Exchange, || {
+            let guard = &epoch::pin();
+            let node = Owned::new(OfferNode {
+                give: MaybeUninit::new(v),
+                resp: AtomicPtr::new(ptr::null_mut()),
+            });
+            match self
+                .slot
+                .compare_exchange(Shared::null(), node, Release, Acquire, guard)
+            {
+                Ok(my) => self.wait_as_helpee(my, patience, guard),
+                Err(e) => {
+                    // We still own the node; move the value back out (the
+                    // node's `give` is MaybeUninit, so dropping the shell
+                    // cannot double-drop).
+                    let v = unsafe { ptr::read(e.new.give.as_ptr()) };
+                    let cur = e.current;
+                    match unsafe { cur.as_ref() } {
+                        Some(offer) => self.try_help(cur, offer, v, guard),
+                        None => Err(v),
+                    }
                 }
             }
-        }
+        })
     }
 
     /// Installed path: spin for a partner, withdraw on timeout.

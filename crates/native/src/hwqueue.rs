@@ -106,12 +106,14 @@ impl<T> Drop for HwQueue<T> {
 
 impl<T: Send> ConcurrentQueue<T> for HwQueue<T> {
     fn enqueue(&self, v: T) {
-        self.try_push(v)
-            .unwrap_or_else(|_| panic!("HwQueue capacity {} exhausted", self.slots.len()));
+        crate::perf::op(crate::perf::OpKind::QueueEnq, || {
+            self.try_push(v)
+                .unwrap_or_else(|_| panic!("HwQueue capacity {} exhausted", self.slots.len()))
+        });
     }
 
     fn dequeue(&self) -> Option<T> {
-        self.try_pop()
+        crate::perf::op(crate::perf::OpKind::QueueDeq, || self.try_pop())
     }
 }
 

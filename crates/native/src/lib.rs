@@ -23,7 +23,8 @@
 //! that `compass::conform` checks against the paper's consistency
 //! specifications (`DESIGN.md` §7). The `weak-variants` feature adds
 //! deliberately broken variants ([`WeakMsQueue`]) as positive controls
-//! for that harness.
+//! for that harness. The `perf` feature arms the [`perf`] module's
+//! per-operation latency hooks used by the `e12_perf` benchmarks.
 
 #![warn(missing_docs)]
 #![warn(missing_debug_implementations)]
@@ -34,6 +35,7 @@ pub mod ebr;
 mod exchanger;
 mod hwqueue;
 mod msqueue;
+pub mod perf;
 #[cfg(feature = "recorder")]
 pub mod recorder;
 mod spsc;

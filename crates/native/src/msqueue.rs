@@ -134,11 +134,11 @@ impl<T> Drop for MsQueue<T> {
 
 impl<T: Send> ConcurrentQueue<T> for MsQueue<T> {
     fn enqueue(&self, v: T) {
-        self.push(v);
+        crate::perf::op(crate::perf::OpKind::QueueEnq, || self.push(v));
     }
 
     fn dequeue(&self) -> Option<T> {
-        self.pop()
+        crate::perf::op(crate::perf::OpKind::QueueDeq, || self.pop())
     }
 }
 
@@ -283,11 +283,11 @@ impl<T: Copy> Drop for WeakMsQueue<T> {
 #[cfg(feature = "weak-variants")]
 impl<T: Copy + Send> ConcurrentQueue<T> for WeakMsQueue<T> {
     fn enqueue(&self, v: T) {
-        self.push(v);
+        crate::perf::op(crate::perf::OpKind::QueueEnq, || self.push(v));
     }
 
     fn dequeue(&self) -> Option<T> {
-        self.pop()
+        crate::perf::op(crate::perf::OpKind::QueueDeq, || self.pop())
     }
 }
 

@@ -1,0 +1,487 @@
+//! Per-operation latency instrumentation (`feature = "perf"`).
+//!
+//! The performance experiments (`e12_perf` in `compass-bench`) need
+//! per-op latency distributions from the native structures without
+//! perturbing them when nobody is measuring. This module provides:
+//!
+//! * [`LatencyHist`] — a fixed-point, HDR-style log-linear latency
+//!   histogram: 32 sub-buckets per power of two (≤ ~3% relative error),
+//!   O(1) record, mergeable like `orc11::StepHistogram`, with
+//!   p50/p90/p99/p999/max accessors. Always compiled (it is just a
+//!   struct); the recording machinery below is what the feature gates.
+//! * [`op`] — the instrumentation hook wrapped around every public
+//!   structure operation (`ConcurrentQueue::enqueue`, `Worker::push`,
+//!   ...). Without `feature = "perf"` it is an `#[inline(always)]`
+//!   pass-through — the timing code does not exist in the binary. With
+//!   the feature but no active session it is one relaxed atomic load.
+//!   Only inside an active session does it timestamp the operation and
+//!   record into a *thread-local* histogram — no shared state on the
+//!   hot path.
+//! * Session management ([`start`], [`flush_thread`], [`finish`]) —
+//!   thread-local histograms are merged into a global collector when
+//!   each thread flushes at round end, and [`finish`] returns the
+//!   per-[`OpKind`] totals.
+//!
+//! Like the `recorder` module, this is deliberately dependency-free and
+//! off by default; `tests/perf_free.rs` in `compass-bench` pins that an
+//! idle session leaves checker reports and replay bundles byte-identical.
+
+/// The operation vocabulary of the instrumented structures.
+///
+/// One histogram per kind per session: the experiments bench one
+/// structure at a time, so kinds do not need to carry the structure's
+/// identity.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(usize)]
+pub enum OpKind {
+    /// A FIFO enqueue ([`crate::ConcurrentQueue::enqueue`]).
+    QueueEnq = 0,
+    /// A FIFO dequeue attempt ([`crate::ConcurrentQueue::dequeue`]).
+    QueueDeq,
+    /// A LIFO push ([`crate::ConcurrentStack::push`]).
+    StackPush,
+    /// A LIFO pop attempt ([`crate::ConcurrentStack::pop`]).
+    StackPop,
+    /// A deque owner push ([`crate::Worker::push`]).
+    DequePush,
+    /// A deque owner pop attempt ([`crate::Worker::pop`]).
+    DequePop,
+    /// A steal attempt ([`crate::Stealer::steal`]), including retries.
+    DequeSteal,
+    /// An exchange attempt ([`crate::Exchanger::exchange`]).
+    Exchange,
+    /// A blocking SPSC push ([`crate::Producer::push`]).
+    SpscPush,
+    /// An SPSC pop attempt ([`crate::Consumer::try_pop`]).
+    SpscPop,
+}
+
+/// Number of [`OpKind`] variants (histogram array size).
+pub const N_KINDS: usize = 10;
+
+impl OpKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [OpKind; N_KINDS] = [
+        OpKind::QueueEnq,
+        OpKind::QueueDeq,
+        OpKind::StackPush,
+        OpKind::StackPop,
+        OpKind::DequePush,
+        OpKind::DequePop,
+        OpKind::DequeSteal,
+        OpKind::Exchange,
+        OpKind::SpscPush,
+        OpKind::SpscPop,
+    ];
+
+    /// Stable snake_case name (used as a JSON key by `compass-bench`).
+    pub fn name(self) -> &'static str {
+        match self {
+            OpKind::QueueEnq => "enqueue",
+            OpKind::QueueDeq => "dequeue",
+            OpKind::StackPush => "push",
+            OpKind::StackPop => "pop",
+            OpKind::DequePush => "deque_push",
+            OpKind::DequePop => "deque_pop",
+            OpKind::DequeSteal => "steal",
+            OpKind::Exchange => "exchange",
+            OpKind::SpscPush => "spsc_push",
+            OpKind::SpscPop => "spsc_pop",
+        }
+    }
+}
+
+/// Sub-bucket resolution: 2^5 = 32 sub-buckets per power of two, so a
+/// bucket's width is at most `lo / 32` — ≤ ~3.1% relative error on any
+/// reported percentile.
+const SUB_BITS: u32 = 5;
+const SUB: usize = 1 << SUB_BITS;
+/// Largest exactly-bucketed exponent: values at or above 2^43 ns
+/// (~2.4 hours) clamp into the final bucket.
+const G_MAX: u32 = 42;
+const N_BUCKETS: usize = ((G_MAX - SUB_BITS + 2) as usize) * SUB;
+
+/// A fixed-point log-linear ("HDR-style") latency histogram.
+///
+/// Values are nanoseconds. Bucket layout: values below 32 map to unit
+/// buckets; a value with highest set bit `g >= 5` lands in one of 32
+/// sub-buckets of width `2^(g-5)`. Recording is O(1) (a `leading_zeros`
+/// and a shift); merging adds bucket counts, so merge order never
+/// matters. Percentiles report the upper bound of the target bucket
+/// (clamped to the exact observed maximum), so they never under-report.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct LatencyHist {
+    buckets: Box<[u64]>,
+    count: u64,
+    total: u64,
+    max: u64,
+    min: u64,
+}
+
+impl Default for LatencyHist {
+    fn default() -> Self {
+        LatencyHist {
+            buckets: vec![0; N_BUCKETS].into_boxed_slice(),
+            count: 0,
+            total: 0,
+            max: 0,
+            min: u64::MAX,
+        }
+    }
+}
+
+impl LatencyHist {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        LatencyHist::default()
+    }
+
+    /// Bucket index for a nanosecond value.
+    fn index(ns: u64) -> usize {
+        if ns < SUB as u64 {
+            return ns as usize;
+        }
+        let g = 63 - ns.leading_zeros();
+        if g > G_MAX {
+            return N_BUCKETS - 1;
+        }
+        let sub = (ns >> (g - SUB_BITS)) as usize & (SUB - 1);
+        ((g - SUB_BITS + 1) as usize) * SUB + sub
+    }
+
+    /// `(lo, hi)` inclusive value bounds of bucket `i`.
+    fn bounds(i: usize) -> (u64, u64) {
+        if i < SUB {
+            return (i as u64, i as u64);
+        }
+        let g = (i / SUB) as u32 + SUB_BITS - 1;
+        let sub = (i % SUB) as u64;
+        let lo = (SUB as u64 + sub) << (g - SUB_BITS);
+        (lo, lo + (1u64 << (g - SUB_BITS)) - 1)
+    }
+
+    /// Records one latency sample, O(1).
+    pub fn record(&mut self, ns: u64) {
+        self.buckets[Self::index(ns)] += 1;
+        self.count += 1;
+        self.total = self.total.saturating_add(ns);
+        self.max = self.max.max(ns);
+        self.min = self.min.min(ns);
+    }
+
+    /// Adds `other`'s recordings into `self` (commutative).
+    pub fn merge(&mut self, other: &LatencyHist) {
+        for (b, o) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *b += o;
+        }
+        self.count += other.count;
+        self.total = self.total.saturating_add(other.total);
+        self.max = self.max.max(other.max);
+        self.min = self.min.min(other.min);
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact maximum recorded value (0 if empty).
+    pub fn max_ns(&self) -> u64 {
+        self.max
+    }
+
+    /// Exact minimum recorded value (0 if empty).
+    pub fn min_ns(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Mean value (0.0 if empty).
+    pub fn mean_ns(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total as f64 / self.count as f64
+        }
+    }
+
+    /// The `q`-quantile (`q` in `[0, 1]`): the upper bound of the bucket
+    /// holding the sample of rank `ceil(q * count)`, clamped to the
+    /// exact observed maximum. 0 if empty.
+    pub fn percentile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut cum = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return Self::bounds(i).1.min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Median latency.
+    pub fn p50(&self) -> u64 {
+        self.percentile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.percentile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.percentile(0.99)
+    }
+
+    /// 99.9th percentile.
+    pub fn p999(&self) -> u64 {
+        self.percentile(0.999)
+    }
+
+    /// Non-empty buckets as `(lo, hi_inclusive, count)`, ascending.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| {
+                let (lo, hi) = Self::bounds(i);
+                (lo, hi, c)
+            })
+            .collect()
+    }
+}
+
+#[cfg(feature = "perf")]
+mod session {
+    use super::{LatencyHist, OpKind, N_KINDS};
+    use std::cell::RefCell;
+    use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    /// Whether a recording session is active — the only thing the hook
+    /// checks on the (overwhelmingly common) idle path.
+    static ENABLED: AtomicBool = AtomicBool::new(false);
+    /// Session generation, so a thread-local histogram left over from an
+    /// earlier session is discarded rather than merged into a later one.
+    static EPOCH: AtomicU64 = AtomicU64::new(0);
+    /// Flushed per-kind histograms, merged across threads.
+    static MERGED: Mutex<Vec<LatencyHist>> = Mutex::new(Vec::new());
+
+    thread_local! {
+        static LOCAL: RefCell<Option<(u64, Vec<LatencyHist>)>> = const { RefCell::new(None) };
+    }
+
+    /// Whether a recording session is currently active.
+    pub fn active() -> bool {
+        ENABLED.load(Ordering::Relaxed)
+    }
+
+    /// Times `f` and records its latency into this thread's histogram
+    /// for `kind` — or just runs `f` when no session is active.
+    #[inline]
+    pub fn op<R>(kind: OpKind, f: impl FnOnce() -> R) -> R {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return f();
+        }
+        record_op(kind, f)
+    }
+
+    fn record_op<R>(kind: OpKind, f: impl FnOnce() -> R) -> R {
+        let t0 = Instant::now();
+        let r = f();
+        let ns = t0.elapsed().as_nanos() as u64;
+        let epoch = EPOCH.load(Ordering::Acquire);
+        LOCAL.with(|cell| {
+            let mut slot = cell.borrow_mut();
+            let stale = !matches!(&*slot, Some((e, _)) if *e == epoch);
+            if stale {
+                *slot = Some((epoch, vec![LatencyHist::new(); N_KINDS]));
+            }
+            slot.as_mut().expect("just initialized").1[kind as usize].record(ns);
+        });
+        r
+    }
+
+    /// Starts a recording session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a session is already active (sessions are global and
+    /// must not nest).
+    pub fn start() {
+        assert!(
+            !ENABLED.swap(true, Ordering::SeqCst),
+            "a perf recording session is already active"
+        );
+        EPOCH.fetch_add(1, Ordering::Release);
+        let mut merged = MERGED.lock().unwrap();
+        merged.clear();
+        merged.resize(N_KINDS, LatencyHist::new());
+    }
+
+    /// Merges this thread's histograms into the session collector and
+    /// clears them. Each participating thread calls this once, at the
+    /// end of its round, while the session is still active; a no-op when
+    /// idle or when the thread recorded nothing this session.
+    pub fn flush_thread() {
+        if !ENABLED.load(Ordering::Relaxed) {
+            return;
+        }
+        let epoch = EPOCH.load(Ordering::Acquire);
+        let taken = LOCAL.with(|cell| cell.borrow_mut().take());
+        if let Some((e, hists)) = taken {
+            if e != epoch {
+                return;
+            }
+            let mut merged = MERGED.lock().unwrap();
+            for (m, h) in merged.iter_mut().zip(hists.iter()) {
+                m.merge(h);
+            }
+        }
+    }
+
+    /// Ends the session and returns the non-empty per-kind histograms.
+    /// Flushes the calling thread first, so a single-threaded session
+    /// needs no explicit [`flush_thread`].
+    pub fn finish() -> Vec<(OpKind, LatencyHist)> {
+        flush_thread();
+        ENABLED.store(false, Ordering::SeqCst);
+        let mut merged = MERGED.lock().unwrap();
+        let hists = std::mem::take(&mut *merged);
+        OpKind::ALL
+            .iter()
+            .zip(hists)
+            .filter(|(_, h)| !h.is_empty())
+            .map(|(&k, h)| (k, h))
+            .collect()
+    }
+}
+
+#[cfg(feature = "perf")]
+pub use session::{active, finish, flush_thread, op, start};
+
+/// Without `feature = "perf"` the hook is an inlined pass-through: the
+/// timing code is compiled out of the structures entirely.
+#[cfg(not(feature = "perf"))]
+#[inline(always)]
+pub fn op<R>(_kind: OpKind, f: impl FnOnce() -> R) -> R {
+    f()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_bounds_contain() {
+        let mut last = 0usize;
+        for v in 0..100_000u64 {
+            let i = LatencyHist::index(v);
+            assert!(i >= last, "index not monotone at {v}");
+            last = i;
+            let (lo, hi) = LatencyHist::bounds(i);
+            assert!(lo <= v && v <= hi, "bounds({i}) = ({lo},{hi}) misses {v}");
+        }
+        // Bucket bounds tile the value space in order.
+        for i in 1..N_BUCKETS {
+            assert_eq!(
+                LatencyHist::bounds(i).0,
+                LatencyHist::bounds(i - 1).1 + 1,
+                "buckets {i} and {} not adjacent",
+                i - 1
+            );
+        }
+        // Huge values clamp into the final bucket.
+        assert_eq!(LatencyHist::index(u64::MAX), N_BUCKETS - 1);
+    }
+
+    #[test]
+    fn percentiles_match_sorted_vector_oracle() {
+        // Deterministic pseudo-random samples via splitmix64.
+        let mut state = 7u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        let mut h = LatencyHist::new();
+        let mut samples: Vec<u64> = (0..10_000).map(|_| next() % 5_000_000).collect();
+        for &s in &samples {
+            h.record(s);
+        }
+        samples.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999, 1.0] {
+            let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+            let oracle = samples[rank - 1];
+            let got = h.percentile(q);
+            // Never under-reports, and over-reports by at most one
+            // sub-bucket width (1/32 relative) plus rounding slack.
+            assert!(got >= oracle, "p{q}: {got} < oracle {oracle}");
+            let slack = oracle / 16 + 1;
+            assert!(
+                got <= oracle + slack,
+                "p{q}: {got} > oracle {oracle} + {slack}"
+            );
+        }
+        assert_eq!(h.percentile(1.0), *samples.last().unwrap());
+        assert_eq!(h.max_ns(), *samples.last().unwrap());
+        assert_eq!(h.min_ns(), samples[0]);
+    }
+
+    #[test]
+    fn merge_is_commutative_and_counts_add() {
+        let mut a = LatencyHist::new();
+        let mut b = LatencyHist::new();
+        for v in [1u64, 5, 40, 900, 70_000, 3_000_000] {
+            a.record(v);
+        }
+        for v in [2u64, 33, 41, 65_000, 9_999_999] {
+            b.record(v);
+        }
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba);
+        assert_eq!(ab.count(), a.count() + b.count());
+        assert_eq!(ab.max_ns(), 9_999_999);
+        assert_eq!(ab.min_ns(), 1);
+    }
+
+    #[test]
+    fn empty_hist_is_all_zero() {
+        let h = LatencyHist::new();
+        assert!(h.is_empty());
+        assert_eq!(h.percentile(0.99), 0);
+        assert_eq!(h.max_ns(), 0);
+        assert_eq!(h.min_ns(), 0);
+        assert!(h.nonzero_buckets().is_empty());
+    }
+
+    #[test]
+    fn idle_hook_is_a_pass_through() {
+        // Session-semantics tests (exact counts, cross-session epoch
+        // hygiene) live in `compass-bench/tests/perf_free.rs`, where no
+        // unrelated test records concurrently; this crate's stress tests
+        // exercise instrumented trait methods in parallel, so asserting
+        // global session state here would race.
+        assert_eq!(op(OpKind::QueueEnq, || 41 + 1), 42);
+    }
+}

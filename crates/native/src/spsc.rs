@@ -89,34 +89,41 @@ impl<T: Send> Producer<T> {
     }
 
     /// Pushes, backing off (spin, then yield) while the ring is full.
+    /// One perf sample per completed push: backoff time is part of the
+    /// operation's latency.
     pub fn push(&self, v: T) {
-        let mut v = v;
-        let backoff = Backoff::new();
-        loop {
-            match self.try_push(v) {
-                Ok(()) => return,
-                Err(back) => {
-                    v = back;
-                    backoff.snooze();
+        crate::perf::op(crate::perf::OpKind::SpscPush, || {
+            let mut v = v;
+            let backoff = Backoff::new();
+            loop {
+                match self.try_push(v) {
+                    Ok(()) => return,
+                    Err(back) => {
+                        v = back;
+                        backoff.snooze();
+                    }
                 }
             }
-        }
+        })
     }
 }
 
 impl<T: Send> Consumer<T> {
-    /// Tries to dequeue.
+    /// Tries to dequeue. One perf sample per *attempt* (misses on an
+    /// empty ring are real, cheap operations and are recorded as such).
     pub fn try_pop(&self) -> Option<T> {
-        let q = &*self.inner;
-        let h = q.head.load(Relaxed);
-        // Acquire: see the producer's slot write.
-        let t = q.tail.load(Acquire);
-        if t == h {
-            return None;
-        }
-        let v = unsafe { (*q.buf[h % q.buf.len()].get()).assume_init_read() };
-        q.head.store(h + 1, Release);
-        Some(v)
+        crate::perf::op(crate::perf::OpKind::SpscPop, || {
+            let q = &*self.inner;
+            let h = q.head.load(Relaxed);
+            // Acquire: see the producer's slot write.
+            let t = q.tail.load(Acquire);
+            if t == h {
+                return None;
+            }
+            let v = unsafe { (*q.buf[h % q.buf.len()].get()).assume_init_read() };
+            q.head.store(h + 1, Release);
+            Some(v)
+        })
     }
 
     /// Pops, backing off (spin, then yield) while the ring is empty.

@@ -126,11 +126,13 @@ impl<T> Drop for TreiberStack<T> {
 
 impl<T: Send> ConcurrentStack<T> for TreiberStack<T> {
     fn push(&self, v: T) {
-        TreiberStack::push(self, v);
+        crate::perf::op(crate::perf::OpKind::StackPush, || {
+            TreiberStack::push(self, v)
+        });
     }
 
     fn pop(&self) -> Option<T> {
-        TreiberStack::pop(self)
+        crate::perf::op(crate::perf::OpKind::StackPop, || TreiberStack::pop(self))
     }
 }
 
@@ -239,11 +241,11 @@ impl<T: Send> ElimStack<T> {
 
 impl<T: Send> ConcurrentStack<T> for ElimStack<T> {
     fn push(&self, v: T) {
-        ElimStack::push(self, v);
+        crate::perf::op(crate::perf::OpKind::StackPush, || ElimStack::push(self, v));
     }
 
     fn pop(&self) -> Option<T> {
-        ElimStack::pop(self)
+        crate::perf::op(crate::perf::OpKind::StackPop, || ElimStack::pop(self))
     }
 }
 

@@ -24,9 +24,9 @@
 use crate::exec::RunOutcome;
 use crate::explore::ExploreReport;
 use crate::model::Model;
+use crate::rate::RateMeter;
 use crate::trace;
 use crate::work::{StrategyDesc, WorkSource, WorkSpec};
-use std::time::{Duration, Instant};
 
 /// Cap on auto-detected parallelism: exploration workers each spawn the
 /// model's own (gated) thread group, so running dozens of workers per
@@ -76,38 +76,6 @@ pub(crate) fn resolve_threads(explicit: usize) -> usize {
     }
 }
 
-/// Throttled executions/sec counter-track emitter (one per worker;
-/// samples at most every 100ms, and only while a trace session is on).
-struct RateMeter {
-    window_start: Instant,
-    count: u64,
-}
-
-impl RateMeter {
-    const WINDOW: Duration = Duration::from_millis(100);
-
-    fn new() -> Self {
-        RateMeter {
-            window_start: Instant::now(),
-            count: 0,
-        }
-    }
-
-    fn tick(&mut self) {
-        if !trace::enabled() {
-            return;
-        }
-        self.count += 1;
-        let elapsed = self.window_start.elapsed();
-        if elapsed >= Self::WINDOW {
-            let rate = self.count as f64 / elapsed.as_secs_f64();
-            trace::counter("execs_per_sec", rate as u64);
-            self.window_start = Instant::now();
-            self.count = 0;
-        }
-    }
-}
-
 /// One worker's loop: claim batches until the source drains, recording
 /// every outcome into `report` and `sink`. This is the *only* place in
 /// the workspace that runs a model under an exploration strategy — the
@@ -127,7 +95,9 @@ fn drive<M, S>(
     S: Sink<M::Out>,
 {
     let phase_mark = trace::thread_phases();
-    let mut rate = RateMeter::new();
+    // Executions/sec counter track: one meter per worker, sampled at
+    // most every 100ms, and only while a trace session is on.
+    let mut rate = RateMeter::new(RateMeter::DEFAULT_WINDOW);
     while let Some(batch) = source.claim(worker) {
         let _batch_span = trace::span(trace::Phase::Explore, "batch");
         for desc in batch {
@@ -144,7 +114,11 @@ fn drive<M, S>(
             }
             report.record(&desc, &out);
             sink.on_outcome(&desc, &out);
-            rate.tick();
+            if trace::enabled() {
+                if let Some(r) = rate.tick() {
+                    trace::counter("execs_per_sec", r as u64);
+                }
+            }
         }
     }
     report

@@ -1,0 +1,97 @@
+//! Throttled stderr progress lines (`COMPASS_PROGRESS`).
+//!
+//! The checker and the experiment binaries all want the same thing: an
+//! opt-in, carriage-return-refreshed status line that many worker
+//! threads can feed without ever blocking on it. [`ProgressLine`] is
+//! that plumbing — the rendering stays with the caller (each driver has
+//! its own vocabulary), this module owns only the gating: the env knob,
+//! the `try_lock` so the line never serializes workers, and the 200ms
+//! refresh throttle.
+
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// Minimum interval between refreshes of the line.
+const REFRESH_MS: u128 = 200;
+
+/// Whether `COMPASS_PROGRESS` asks for progress lines (set and not "0").
+pub fn from_env() -> bool {
+    std::env::var_os("COMPASS_PROGRESS").is_some_and(|v| v != *"0")
+}
+
+/// A throttled, non-blocking stderr status line.
+///
+/// Any number of threads may call [`maybe`](ProgressLine::maybe); at
+/// most one at a time enters the printer (via `try_lock`, so nobody
+/// ever waits), and at most one refresh lands per 200ms. The closure
+/// renders the line only when it will actually be printed.
+#[derive(Debug)]
+pub struct ProgressLine {
+    enabled: bool,
+    last: Mutex<Instant>,
+}
+
+impl ProgressLine {
+    /// A line that prints only when `enabled` (callers usually pass
+    /// [`from_env`]).
+    pub fn new(enabled: bool) -> Self {
+        ProgressLine {
+            enabled,
+            last: Mutex::new(Instant::now()),
+        }
+    }
+
+    /// Whether this line prints at all (lets callers skip work that
+    /// only feeds the line, e.g. shared op counters).
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Refreshes the line with `render()`'s text if enabled, the
+    /// printer is free, and 200ms have passed since the last refresh.
+    /// Trailing padding covers a previously-longer line.
+    pub fn maybe(&self, render: impl FnOnce() -> String) {
+        if !self.enabled {
+            return;
+        }
+        let Ok(mut last) = self.last.try_lock() else {
+            return;
+        };
+        let now = Instant::now();
+        if now.duration_since(*last).as_millis() < REFRESH_MS {
+            return;
+        }
+        *last = now;
+        eprint!("\r{}    ", render());
+    }
+
+    /// Overwrites the line with a final summary and a newline.
+    pub fn finish(&self, line: &str) {
+        if !self.enabled {
+            return;
+        }
+        eprintln!("\r{line}            ");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_line_never_renders() {
+        let p = ProgressLine::new(false);
+        p.maybe(|| unreachable!("disabled line must not render"));
+        assert!(!p.enabled());
+        p.finish("done");
+    }
+
+    #[test]
+    fn throttle_skips_immediate_rerender() {
+        let p = ProgressLine::new(true);
+        // Constructed "now": the first maybe() is inside the throttle
+        // window, so the closure must not run (nothing is printed from
+        // tests either way, but the gating is what we pin).
+        p.maybe(|| unreachable!("throttled render must not run"));
+    }
+}

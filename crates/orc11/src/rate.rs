@@ -1,0 +1,91 @@
+//! Windowed event-rate measurement.
+//!
+//! Extracted from the parallel engine's trace-counter emitter so other
+//! drivers (the `e12_perf` benchmarks, the checker's progress line) can
+//! sample events/sec the same way: a [`RateMeter`] counts events and
+//! reports the rate once per elapsed window, plus a run-total rate for
+//! final summaries. Purely local state — one meter per thread, no
+//! atomics.
+
+use std::time::{Duration, Instant};
+
+/// A windowed events/sec meter.
+///
+/// [`tick`](RateMeter::tick) records one event and returns the window's
+/// rate when at least one full window has elapsed (then starts a new
+/// window); [`overall`](RateMeter::overall) is the rate since
+/// construction.
+#[derive(Debug)]
+pub struct RateMeter {
+    window: Duration,
+    window_start: Instant,
+    in_window: u64,
+    start: Instant,
+    total: u64,
+}
+
+impl RateMeter {
+    /// The window used by the exploration engine's trace counters.
+    pub const DEFAULT_WINDOW: Duration = Duration::from_millis(100);
+
+    /// A meter sampling at most once per `window`.
+    pub fn new(window: Duration) -> Self {
+        let now = Instant::now();
+        RateMeter {
+            window,
+            window_start: now,
+            in_window: 0,
+            start: now,
+            total: 0,
+        }
+    }
+
+    /// Records one event. Returns `Some(events_per_sec)` — and resets
+    /// the window — once a full window has elapsed, else `None`.
+    pub fn tick(&mut self) -> Option<f64> {
+        self.in_window += 1;
+        self.total += 1;
+        let elapsed = self.window_start.elapsed();
+        if elapsed < self.window {
+            return None;
+        }
+        let rate = self.in_window as f64 / elapsed.as_secs_f64();
+        self.window_start = Instant::now();
+        self.in_window = 0;
+        Some(rate)
+    }
+
+    /// Total events recorded since construction.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Mean events/sec since construction.
+    pub fn overall(&self) -> f64 {
+        let secs = self.start.elapsed().as_secs_f64();
+        self.total as f64 / secs.max(1e-9)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_window_reports_every_tick() {
+        let mut m = RateMeter::new(Duration::ZERO);
+        assert!(m.tick().is_some());
+        assert!(m.tick().is_some());
+        assert_eq!(m.total(), 2);
+        assert!(m.overall() > 0.0);
+    }
+
+    #[test]
+    fn long_window_holds_back() {
+        let mut m = RateMeter::new(Duration::from_secs(3600));
+        for _ in 0..1000 {
+            assert_eq!(m.tick(), None);
+        }
+        assert_eq!(m.total(), 1000);
+    }
+}

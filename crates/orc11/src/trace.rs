@@ -13,7 +13,8 @@
 //!    phases are disjoint and their sum never exceeds the thread's busy
 //!    time. Drivers snapshot the accumulator ([`thread_phases`]) around
 //!    their work and surface the delta on `ExploreReport`/`CheckReport`
-//!    and in metrics schema v5. Cost: two `Instant::now` calls per span,
+//!    and in the metrics documents (since schema v5). Cost: two
+//!    `Instant::now` calls per span,
 //!    at coarse (per-execution / per-check) granularity — far below the
 //!    cost of the work the spans delimit.
 //!

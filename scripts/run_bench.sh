@@ -1,0 +1,82 @@
+#!/usr/bin/env bash
+# Records one performance-trajectory point (DESIGN.md §9): runs the
+# e12_perf harness, wraps its metrics into the next BENCH_<n>.json in
+# the trajectory directory, validates the document, and diffs it
+# against the previous entry with bench_compare.
+#
+# Usage: scripts/run_bench.sh [--smoke] [output-dir]
+#
+#   --smoke      reduced preset (fewer ops, thread counts 1 and 2) for
+#                CI and quick local checks
+#   output-dir   trajectory directory (default: bench-results)
+#
+# Environment:
+#   COMPASS_BENCH_REV     provenance rev   (default: git rev-parse --short HEAD)
+#   COMPASS_BENCH_DATE    provenance date  (default: date -u +%F)
+#   COMPASS_BENCH_STRICT  when 1, a regression vs. the previous entry
+#                         fails the script (default: report only)
+set -euo pipefail
+
+preset=full
+if [ "${1:-}" = "--smoke" ]; then
+  preset=smoke
+  shift
+fi
+out="${1:-bench-results}"
+mkdir -p "$out"
+
+# Next trajectory index: one past the largest existing BENCH_<n>.json.
+next=0
+for f in "$out"/BENCH_*.json; do
+  [ -e "$f" ] || continue
+  n="${f##*/BENCH_}"
+  n="${n%.json}"
+  case "$n" in
+  '' | *[!0-9]*) continue ;;
+  esac
+  if [ "$n" -ge "$next" ]; then next=$((n + 1)); fi
+done
+doc="$out/BENCH_$next.json"
+
+# Provenance is injected via env so the binaries never read the wall
+# clock (metrics stay deterministic; see tests/parallel_determinism.rs).
+rev="${COMPASS_BENCH_REV:-$(git rev-parse --short HEAD 2>/dev/null || echo unknown)}"
+date_utc="${COMPASS_BENCH_DATE:-$(date -u +%F)}"
+
+# compass-bench enables compass-native's `perf` feature itself, so the
+# per-op hooks are armed in this build (and only in benchmark builds).
+cargo build --release -p compass-bench
+
+export COMPASS_RESULTS_DIR="$out"
+export COMPASS_BENCH_OUT="$doc"
+export COMPASS_BENCH_REV="$rev"
+export COMPASS_BENCH_DATE="$date_utc"
+export COMPASS_BENCH_PRESET="$preset"
+if [ "$preset" = smoke ]; then
+  export COMPASS_PERF_TCOUNTS="1,2"
+  args=(4000 10000)
+else
+  args=(50000 200000)
+fi
+
+echo "=== e12_perf ($preset preset, rev $rev) ==="
+./target/release/e12_perf "${args[@]}" | tee "$out/e12_perf.txt"
+
+./target/release/bench_compare --check "$doc"
+echo "Recorded $doc"
+
+# Diff against the previous trajectory entry, if there is one.
+if [ "$next" -gt 0 ]; then
+  prev="$out/BENCH_$((next - 1)).json"
+  if [ -f "$prev" ]; then
+    echo "=== bench_compare $prev $doc ==="
+    if ./target/release/bench_compare "$prev" "$doc"; then
+      :
+    elif [ "${COMPASS_BENCH_STRICT:-0}" = 1 ]; then
+      echo "Regression vs. $prev (COMPASS_BENCH_STRICT=1)" >&2
+      exit 1
+    else
+      echo "(regression reported; set COMPASS_BENCH_STRICT=1 to make this fatal)"
+    fi
+  fi
+fi

@@ -55,7 +55,7 @@ PY
 )
 fi
 
-# Roll the per-phase time profile (schema v5 `phase_ns`, fed from the
+# Roll the per-phase time profile (the `phase_ns` object, fed from the
 # span-tracing subsystem) up across every experiment document.
 phases='null'
 if command -v python3 >/dev/null 2>&1; then
@@ -77,7 +77,7 @@ fi
 # Collect the per-experiment metrics into one summary document.
 summary="$out/summary.json"
 {
-  printf '{\n  "schema_version": 5,\n  "dpor_pruning": %s,\n  "conform": %s,\n  "phase_ns": %s,\n  "experiments": [\n' "$pruning" "$conform" "$phases"
+  printf '{\n  "schema_version": 6,\n  "dpor_pruning": %s,\n  "conform": %s,\n  "phase_ns": %s,\n  "experiments": [\n' "$pruning" "$conform" "$phases"
   first=1
   for exp in "${exps[@]}"; do
     f="$out/$exp.json"
